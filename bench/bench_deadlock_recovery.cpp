@@ -1,0 +1,106 @@
+// E3 — the Section 4 deadlock scenario, end to end.
+//
+// "Suppose processes j and k have both requested CS [and] REQj and REQk are
+//  both dropped from the channels ... the state of M has a deadlock."
+//
+// Part 1 runs the scripted scenario bare and wrapped for both programs:
+// bare systems starve forever; the identical wrapper recovers both.
+// Part 2 sweeps the W' timeout delta and reports time-to-recovery, showing
+// the linear dependence of recovery latency on the resend period.
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace graybox;
+using namespace graybox::core;
+
+FaultScenario deadlock_scenario() {
+  FaultScenario scenario;
+  scenario.warmup = 100;
+  scenario.observation = 8000;
+  scenario.drain = 6000;
+  scenario.scripted_fault = [](SystemHarness& h) {
+    h.process(0).request_cs();
+    h.process(1).request_cs();
+    const std::size_t n = h.network().size();
+    for (ProcessId to = 0; to < n; ++to) {
+      if (to != 0) h.network().channel(0, to).fault_clear();
+      if (to != 1) h.network().channel(1, to).fault_clear();
+    }
+  };
+  return scenario;
+}
+
+HarnessConfig config_for(Algorithm algo, bool wrapped, SimTime period) {
+  HarnessConfig config;
+  config.n = 3;
+  config.algorithm = algo;
+  config.wrapped = wrapped;
+  config.wrapper.resend_period = period;
+  config.client.wants_cs = false;  // scripted requests only
+  config.seed = 7;
+  return config;
+}
+
+/// Time from the fault to the moment both scripted requests were served;
+/// kNever if the run ends with someone still hungry.
+SimTime recovery_time(const HarnessConfig& config) {
+  SystemHarness h(config);
+  h.start();
+  h.run_for(100);
+  deadlock_scenario().scripted_fault(h);
+  const SimTime fault_at = h.scheduler().now();
+  while (h.scheduler().now() < fault_at + 100000) {
+    h.run_for(2);
+    if (h.process(0).cs_entries() + h.process(1).cs_entries() >= 2)
+      return h.scheduler().now() - fault_at;
+  }
+  return kNever;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"seed", "base seed (default 7)"}});
+  (void)flags;
+
+  std::cout << "E3: Section 4 deadlock — both requests dropped from the "
+               "channels\n\n";
+
+  Table verdicts({"algorithm", "wrapper", "outcome", "starvation at end",
+                  "CS entries"});
+  for (const Algorithm algo :
+       {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+    for (const bool wrapped : {false, true}) {
+      const auto result = run_fault_experiment(config_for(algo, wrapped, 20),
+                                               deadlock_scenario());
+      verdicts.row(to_string(algo), wrapped ? "W' (delta=20)" : "none",
+                   result.report.stabilized ? "recovered"
+                                            : "DEADLOCKED forever",
+                   result.report.starvation, result.stats.cs_entries);
+    }
+  }
+  verdicts.print(std::cout);
+
+  std::cout << "\nRecovery latency vs wrapper timeout delta (time until both "
+               "wedged requests served):\n\n";
+  Table sweep({"delta", "ricart-agrawala", "lamport"});
+  for (const SimTime delta : {0, 5, 10, 25, 50, 100, 200, 400}) {
+    auto cell = [&](Algorithm algo) {
+      const SimTime t = recovery_time(config_for(algo, true, delta));
+      return t == kNever ? std::string("never") : std::to_string(t);
+    };
+    sweep.row(delta, cell(Algorithm::kRicartAgrawala),
+              cell(Algorithm::kLamport));
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nExpected shape: bare rows deadlock, wrapped rows recover "
+               "(paper Theorem 8); recovery latency grows roughly linearly "
+               "with delta (Section 4, 'Implementation of W').\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E6 — interference freedom (paper Lemma 6): "Lspec [] W everywhere
+// implements Lspec".
+//
+// Executable reading: in fault-free runs, adding the wrapper must not
+// change the system's observable correctness or schedule — zero TME Spec
+// violations, the same CS entries, the same protocol message counts — and
+// its own cost is only the resend traffic, quantified per delta.
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+
+namespace {
+
+using namespace graybox;
+using namespace graybox::core;
+
+struct Sample {
+  RunStats stats;
+  bool clean;
+};
+
+Sample run(Algorithm algo, bool wrapped, SimTime delta, std::uint64_t seed) {
+  HarnessConfig config;
+  config.n = 5;
+  config.algorithm = algo;
+  config.wrapped = wrapped;
+  config.wrapper.resend_period = delta;
+  config.client.think_mean = 40;
+  config.client.eat_mean = 8;
+  config.seed = seed;
+  SystemHarness h(config);
+  h.start();
+  h.run_for(10000);
+  h.drain(4000);
+  Sample sample;
+  sample.stats = h.stats();
+  sample.clean = h.stabilization_report().stabilized &&
+                 sample.stats.me1_violations == 0 &&
+                 sample.stats.me3_violations == 0 &&
+                 sample.stats.invariant_violations == 0;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"seed", "seed (default 2026)"}});
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2026));
+
+  std::cout << "E6: interference freedom (Lemma 6) — fault-free, wrapped vs "
+               "bare, identical seeds\n\n";
+
+  for (const Algorithm algo :
+       {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+    Table table({"configuration", "violations", "CS entries",
+                 "protocol msgs", "wrapper msgs", "max wait"});
+    const Sample bare = run(algo, false, 0, seed);
+    table.row("bare", bare.clean ? "none" : "SOME", bare.stats.cs_entries,
+              bare.stats.messages_sent - bare.stats.wrapper_messages,
+              bare.stats.wrapper_messages, bare.stats.me2_max_wait);
+    for (const SimTime delta : {5, 25, 100, 400}) {
+      const Sample wrapped = run(algo, true, delta, seed);
+      table.row("W' delta=" + std::to_string(delta),
+                wrapped.clean ? "none" : "SOME", wrapped.stats.cs_entries,
+                wrapped.stats.messages_sent - wrapped.stats.wrapper_messages,
+                wrapped.stats.wrapper_messages, wrapped.stats.me2_max_wait);
+    }
+    std::cout << to_string(algo) << ":\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Expected shape (Lemma 6): every row is violation-free; CS entry "
+         "counts stay within a fraction of a percent of the bare run (the "
+         "wrapper adds no behaviour Lspec does not already allow — resends "
+         "only perturb timing); the only cost is wrapper resend traffic, "
+         "which shrinks as delta grows. Note: extra wrapper resends induce "
+         "extra replies, so protocol messages exceed the bare count at "
+         "small delta — replies are Lspec traffic the spec already mandates "
+         "on request receipt.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E7 — stabilization time (Theorem 8 quantified).
+//
+// The paper proves that wrapped everywhere-implementations stabilize but
+// reports no measurements. This bench produces the numbers the evaluation
+// would have shown: stabilization latency (last fault -> last TME Spec
+// violation) as a function of system size and of fault burst size, for both
+// programs, wrapped vs bare.
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace graybox;
+using namespace graybox::core;
+
+HarnessConfig config_for(Algorithm algo, std::size_t n, bool wrapped) {
+  HarnessConfig config;
+  config.n = n;
+  config.algorithm = algo;
+  config.wrapped = wrapped;
+  config.wrapper.resend_period = 20;
+  config.client.think_mean = 40;
+  config.client.eat_mean = 8;
+  config.seed = 9000;
+  return config;
+}
+
+FaultScenario scenario_for(std::size_t burst) {
+  FaultScenario scenario;
+  scenario.warmup = 600;
+  scenario.burst = burst;
+  scenario.mix = net::FaultMix::all();
+  scenario.observation = 9000;
+  scenario.drain = 6000;
+  return scenario;
+}
+
+std::string stab_cell(const RepeatedResult& r) {
+  return std::to_string(r.stabilized) + "/" + std::to_string(r.trials);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"trials", "trials per cell (default 15)"}});
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 15));
+
+  std::cout << "E7: stabilization latency after a mixed fault burst ("
+            << trials << " trials per cell)\n\n";
+
+  std::cout << "Latency vs system size (burst = 10 faults), wrapped:\n\n";
+  Table by_n({"n", "ra stabilized", "ra latency mean±sd", "lamport stabilized",
+              "lamport latency mean±sd"});
+  for (const std::size_t n : {2u, 3u, 4u, 6u, 8u, 10u, 12u}) {
+    const RepeatedResult ra = repeat_fault_experiment(
+        config_for(Algorithm::kRicartAgrawala, n, true), scenario_for(10),
+        trials);
+    const RepeatedResult lam = repeat_fault_experiment(
+        config_for(Algorithm::kLamport, n, true), scenario_for(10), trials);
+    by_n.row(n, stab_cell(ra), mean_pm_stddev(ra.latency, 0), stab_cell(lam),
+             mean_pm_stddev(lam.latency, 0));
+  }
+  by_n.print(std::cout);
+
+  std::cout << "\nLatency vs burst size (n = 5), wrapped:\n\n";
+  Table by_burst({"burst", "ra stabilized", "ra latency mean±sd",
+                  "lamport stabilized", "lamport latency mean±sd"});
+  for (const std::size_t burst : {2u, 5u, 10u, 20u, 40u, 80u}) {
+    const RepeatedResult ra = repeat_fault_experiment(
+        config_for(Algorithm::kRicartAgrawala, 5, true), scenario_for(burst),
+        trials);
+    const RepeatedResult lam = repeat_fault_experiment(
+        config_for(Algorithm::kLamport, 5, true), scenario_for(burst),
+        trials);
+    by_burst.row(burst, stab_cell(ra), mean_pm_stddev(ra.latency, 0),
+                 stab_cell(lam), mean_pm_stddev(lam.latency, 0));
+  }
+  by_burst.print(std::cout);
+
+  std::cout << "\nBare baseline (n = 5): how often luck suffices without "
+               "the wrapper, as the loss-heavy adversary strengthens:\n\n";
+  Table bare({"algorithm", "burst 10", "burst 40", "burst 80"});
+  for (const Algorithm algo :
+       {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+    std::vector<std::string> cells;
+    for (const std::size_t burst : {10u, 40u, 80u}) {
+      FaultScenario scenario = scenario_for(burst);
+      // Losses are what wedge a bare system (Section 4): drop-only mix.
+      scenario.mix = net::FaultMix::only(net::FaultKind::kMessageDrop);
+      scenario.mix.channel_clear = true;
+      const RepeatedResult r = repeat_fault_experiment(
+          config_for(algo, 5, false), scenario, trials);
+      cells.push_back(stab_cell(r) + " stabilized");
+    }
+    bare.row(to_string(algo), cells[0], cells[1], cells[2]);
+  }
+  bare.print(std::cout);
+
+  std::cout << "\nExpected shape: wrapped cells stabilize in EVERY trial at "
+               "every n and burst size (Theorem 8), with latency growing "
+               "mildly in both. Bare systems survive most RANDOM bursts by "
+               "luck — ongoing requests double as repair traffic — but they "
+               "carry no guarantee: some trials starve, and the scripted "
+               "Section 4 loss pattern (bench_deadlock_recovery) wedges "
+               "them deterministically. The wrapper converts 'usually "
+               "recovers' into 'always recovers'.\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// E10 — substrate microbenchmarks (google-benchmark).
+//
+// Costs of the building blocks: scheduler event dispatch, channel
+// enqueue/deliver, full protocol round-trips, global snapshot + monitor
+// observation, and the finite-system algebra decision procedures. These
+// bound how large an experiment the simulator sustains and quantify the
+// monitoring overhead that the HarnessConfig::install_monitors switch
+// removes.
+#include <benchmark/benchmark.h>
+
+#include "algebra/checks.hpp"
+#include "algebra/generate.hpp"
+#include "core/harness.hpp"
+#include "lspec/snapshot.hpp"
+#include "lspec/tme_monitors.hpp"
+#include "me/ricart_agrawala.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace graybox;
+
+void BM_SchedulerScheduleExecute(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      sched.schedule_after(static_cast<SimTime>(i % 7), [&] { ++sink; });
+    while (sched.step()) {
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SchedulerScheduleExecute);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  sim::Scheduler sched;
+  for (auto _ : state) {
+    sim::EventId ids[64];
+    for (int i = 0; i < 64; ++i)
+      ids[i] = sched.schedule_after(1000, [] {});
+    for (int i = 0; i < 64; ++i) sched.cancel(ids[i]);
+    while (sched.step()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_ChannelEnqueueDeliver(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::uint64_t delivered = 0;
+  net::Channel channel(sched, net::DelayModel::fixed(1), Rng(1),
+                       [&](const net::Message&) { ++delivered; });
+  net::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) channel.enqueue(msg);
+    while (sched.step()) {
+    }
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChannelEnqueueDeliver);
+
+void BM_RicartAgrawalaFullCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  net::Network net(sched, n, net::DelayModel::fixed(1), Rng(1));
+  std::vector<std::unique_ptr<me::RicartAgrawala>> procs;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    procs.push_back(std::make_unique<me::RicartAgrawala>(pid, net));
+    auto* p = procs.back().get();
+    net.set_handler(pid, [p](const net::Message& m) { p->on_message(m); });
+  }
+  for (auto _ : state) {
+    procs[0]->request_cs();
+    while (sched.step()) {
+    }
+    procs[0]->release_cs();
+    while (sched.step()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("request->enter->release, n=" + std::to_string(n));
+}
+BENCHMARK(BM_RicartAgrawalaFullCycle)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_SnapshotCaptureAndMonitor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  net::Network net(sched, n, net::DelayModel::fixed(1), Rng(1));
+  std::vector<std::unique_ptr<me::RicartAgrawala>> procs;
+  std::vector<me::TmeProcess*> raw;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    procs.push_back(std::make_unique<me::RicartAgrawala>(pid, net));
+    raw.push_back(procs.back().get());
+    auto* p = procs.back().get();
+    net.set_handler(pid, [p](const net::Message& m) { p->on_message(m); });
+  }
+  lspec::SnapshotSource source(raw, net);
+  lspec::TmeMonitorSet monitors;
+  lspec::install_tme_monitors(monitors, n);
+  SimTime t = 0;
+  for (auto _ : state) {
+    ++t;
+    monitors.observe(t, source.capture(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotCaptureAndMonitor)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HarnessSimulatedSecond(benchmark::State& state) {
+  // One "simulated kilotick" of a busy 5-process wrapped system, with and
+  // without monitors (range(0) = monitors on).
+  const bool monitors = state.range(0) != 0;
+  core::HarnessConfig config;
+  config.n = 5;
+  config.wrapped = true;
+  config.install_monitors = monitors;
+  config.client.think_mean = 30;
+  config.client.eat_mean = 5;
+  config.seed = 12;
+  core::SystemHarness h(config);
+  h.start();
+  for (auto _ : state) {
+    h.run_for(1000);
+  }
+  state.SetLabel(monitors ? "monitors on" : "monitors off");
+}
+BENCHMARK(BM_HarnessSimulatedSecond)->Arg(0)->Arg(1);
+
+void BM_AlgebraStabilizesTo(benchmark::State& state) {
+  const auto states = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  algebra::RandomSystemParams params;
+  params.num_states = states;
+  const algebra::System a = algebra::random_system(rng, params);
+  const algebra::System w = algebra::random_wrapper(rng, a, 8);
+  const algebra::System aw = algebra::System::box(a, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::stabilizes_to(aw, a));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlgebraStabilizesTo)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AlgebraBoxCompose(benchmark::State& state) {
+  const auto states = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  algebra::RandomSystemParams params;
+  params.num_states = states;
+  const algebra::System a = algebra::random_system(rng, params);
+  const algebra::System b = algebra::random_system(rng, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::System::box(a, b));
+  }
+}
+BENCHMARK(BM_AlgebraBoxCompose)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

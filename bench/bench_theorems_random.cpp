@@ -1,0 +1,169 @@
+// E2 — randomized verification of the Section 2 theorems.
+//
+// For each result we draw thousands of random finite systems, discard the
+// draws that fail the theorem's premises, and check the conclusion on the
+// rest. Expected: zero conclusion failures for Lemma 0, Theorem 1, Lemma 2,
+// and Theorem 4 — and a NONZERO number of failures for the negative control
+// (init-only implementations), which is exactly the gap Figure 1 exhibits.
+#include <iostream>
+
+#include "algebra/checks.hpp"
+#include "algebra/generate.hpp"
+#include "algebra/synthesis.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace graybox;
+using namespace graybox::algebra;
+
+struct Tally {
+  long trials = 0;
+  long premise_held = 0;
+  long conclusion_failed = 0;
+};
+
+Tally check_lemma0(Rng& rng, long trials) {
+  Tally tally;
+  for (long i = 0; i < trials; ++i) {
+    ++tally.trials;
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(10);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, rng.index(8));
+    const System c = random_everywhere_implementation(rng, a);
+    const System wi = random_everywhere_implementation(rng, w);
+    ++tally.premise_held;  // premises hold by construction
+    if (!implements_everywhere(System::box(c, wi), System::box(a, w)))
+      ++tally.conclusion_failed;
+  }
+  return tally;
+}
+
+Tally check_theorem1(Rng& rng, long trials, bool everywhere_premise) {
+  Tally tally;
+  for (long i = 0; i < trials; ++i) {
+    ++tally.trials;
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(8);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, 1 + rng.index(8));
+    const System aw = System::box(a, w);
+    if (!aw.total() || !stabilizes_to(aw, a)) continue;
+    const System c = everywhere_premise
+                         ? random_everywhere_implementation(rng, a)
+                         : random_init_implementation(rng, a);
+    if (!everywhere_premise && !implements_init(c, a)) continue;
+    const System wi = random_everywhere_implementation(rng, w);
+    ++tally.premise_held;
+    if (!stabilizes_to(System::box(c, wi), a)) ++tally.conclusion_failed;
+  }
+  return tally;
+}
+
+Tally check_theorem4(Rng& rng, long trials) {
+  Tally tally;
+  for (long i = 0; i < trials; ++i) {
+    ++tally.trials;
+    RandomSystemParams params;
+    params.num_states = 2 + rng.index(3);
+    const System a0 = random_system(rng, params);
+    params.num_states = 2 + rng.index(3);
+    const System a1 = random_system(rng, params);
+    const std::size_t lo = a0.num_states(), hi = a1.num_states();
+    const System a =
+        System::box(lift_local(a0, 0, lo, hi), lift_local(a1, 1, lo, hi));
+    const System w0 = random_wrapper(rng, a0, rng.index(4));
+    const System w1 = random_wrapper(rng, a1, rng.index(4));
+    const System w =
+        System::box(lift_local(w0, 0, lo, hi), lift_local(w1, 1, lo, hi));
+    const System aw = System::box(a, w);
+    if (!aw.total() || !stabilizes_to(aw, a)) continue;
+    ++tally.premise_held;
+    const System c = System::box(
+        lift_local(random_everywhere_implementation(rng, a0), 0, lo, hi),
+        lift_local(random_everywhere_implementation(rng, a1), 1, lo, hi));
+    const System wi = System::box(
+        lift_local(random_everywhere_implementation(rng, w0), 0, lo, hi),
+        lift_local(random_everywhere_implementation(rng, w1), 1, lo, hi));
+    if (!stabilizes_to(System::box(c, wi), a)) ++tally.conclusion_failed;
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"trials", "trials per theorem (default 5000)"},
+               {"seed", "RNG seed (default 42)"}});
+  const long trials = flags.get_int("trials", 5000);
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+
+  std::cout << "E2: randomized property check of the Section 2 theorems ("
+            << trials << " trials each)\n\n";
+
+  Table table({"result", "trials", "premise held", "conclusion failed",
+               "verdict"});
+  auto add = [&](const char* name, const Tally& t, bool failures_expected) {
+    const bool ok = failures_expected ? t.conclusion_failed > 0
+                                      : t.conclusion_failed == 0;
+    table.row(name, t.trials, t.premise_held, t.conclusion_failed,
+              ok ? (failures_expected ? "counterexamples exist (as paper says)"
+                                      : "holds")
+                 : "UNEXPECTED");
+  };
+
+  add("Lemma 0 (box monotonicity)", check_lemma0(rng, trials), false);
+  add("Theorem 1 (graybox stabilization)",
+      check_theorem1(rng, trials, true), false);
+  add("Theorem 4 (local everywhere composition)",
+      check_theorem4(rng, trials), false);
+  add("negative: Theorem 1 with [C=>A]init only",
+      check_theorem1(rng, trials * 2, false), true);
+  table.print(std::cout);
+
+  // --- Section 6: automatic synthesis of graybox stabilization -----------
+  // For every random spec A, synthesize the reset wrapper from A alone and
+  // check it fairly stabilizes A and every everywhere implementation.
+  // Also count how often fairness is doing real work: the demonic
+  // semantics cannot repair A (its stray states cycle) while the fair one
+  // can — this is the formal role of W's timeout.
+  Tally synth;
+  long fairness_needed = 0;
+  std::size_t wrapper_edges = 0;
+  for (long i = 0; i < trials; ++i) {
+    ++synth.trials;
+    RandomSystemParams params;
+    params.num_states = 4 + rng.index(8);
+    params.initial_density = 0.2;
+    const System a = random_system(rng, params);
+    const System w = synthesize_reset_wrapper(a);
+    wrapper_edges += w.num_transitions();
+    const System c = random_everywhere_implementation(rng, a);
+    ++synth.premise_held;
+    if (!fair_stabilizes_to(a, w, a) || !fair_stabilizes_to(c, w, a))
+      ++synth.conclusion_failed;
+    if (!stabilizes_to(System::box(a, w), a)) ++fairness_needed;
+  }
+  std::cout << "\nSection 6 synthesis (reset wrapper from A alone, fair "
+               "wrapper execution):\n\n";
+  Table synth_table({"metric", "value"});
+  synth_table.row("specs synthesized for", synth.trials);
+  synth_table.row("fair stabilization failures (A and impls)",
+                  synth.conclusion_failed);
+  synth_table.row("specs where fairness was necessary (demonic box fails)",
+                  fairness_needed);
+  synth_table.row("mean wrapper recovery edges",
+                  wrapper_edges / static_cast<std::size_t>(synth.trials));
+  synth_table.print(std::cout);
+
+  std::cout << "\nExpected shape: the three positive rows never fail; the\n"
+               "negative row fails on some draws, showing the everywhere\n"
+               "premise is necessary (Figure 1's lesson); synthesis never\n"
+               "fails, and on a sizable fraction of specs only the FAIR\n"
+               "semantics stabilizes - the algebraic reason the deployable\n"
+               "wrapper W' carries a timer.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E8 — fault-free correctness and service metrics (Theorem 5: Lspec
+// implementations implement TME Spec from initial states).
+//
+// Reports, per system size and algorithm: CS entries per 1000 ticks,
+// protocol messages per CS entry (Ricart-Agrawala's optimal 2(n-1) vs
+// Lamport's 3(n-1)), worst-case waiting time, and the violation counters
+// (all of which must be zero). Runs BARE (no wrapper) so the per-entry
+// message counts are exact protocol complexity; bench_interference
+// quantifies what the wrapper adds on top.
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+
+namespace {
+
+using namespace graybox;
+using namespace graybox::core;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"horizon", "run length in ticks (default 20000)"}});
+  const SimTime horizon =
+      static_cast<SimTime>(flags.get_int("horizon", 20000));
+
+  std::cout << "E8: fault-free TME service metrics over " << horizon
+            << " ticks (bare protocols; see E6 for wrapper overhead)\n\n";
+
+  Table table({"n", "algorithm", "CS entries", "entries/1k ticks",
+               "msgs/entry", "expected msgs/entry", "max wait",
+               "violations"});
+  for (const std::size_t n : {2u, 3u, 5u, 8u, 12u}) {
+    for (const Algorithm algo :
+         {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+      HarnessConfig config;
+      config.n = n;
+      config.algorithm = algo;
+      config.wrapped = false;
+      config.client.think_mean = 50;
+      config.client.eat_mean = 8;
+      config.seed = 42 + n;
+      SystemHarness h(config);
+      h.start();
+      h.run_for(horizon);
+      h.drain(5000);
+      const RunStats stats = h.stats();
+      const double protocol_msgs = static_cast<double>(
+          stats.messages_sent - stats.wrapper_messages);
+      const double per_entry =
+          stats.cs_entries > 0
+              ? protocol_msgs / static_cast<double>(stats.cs_entries)
+              : 0.0;
+      const std::uint64_t violations = stats.me1_violations +
+                                       stats.me3_violations +
+                                       stats.invariant_violations;
+      char buf[32], buf2[32];
+      std::snprintf(buf, sizeof buf, "%.1f", per_entry);
+      std::snprintf(buf2, sizeof buf2, "%.1f",
+                    static_cast<double>(stats.cs_entries) * 1000.0 /
+                        static_cast<double>(horizon));
+      table.row(n, to_string(algo), stats.cs_entries, buf2, buf,
+                (algo == Algorithm::kRicartAgrawala ? 2 : 3) * (n - 1),
+                stats.me2_max_wait, violations);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: zero violations everywhere (Theorem 5); "
+         "msgs/entry equals 2(n-1) for Ricart-Agrawala (its optimality "
+         "claim) and 3(n-1) for Lamport; throughput saturates and max wait "
+         "grows with n as contention rises.\n";
+  return 0;
+}

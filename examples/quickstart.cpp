@@ -1,0 +1,68 @@
+// Quickstart: build a wrapped timestamp-based mutual-exclusion system in a
+// dozen lines, hit it with faults, watch it stabilize.
+//
+//   $ ./quickstart [--n=5] [--algorithm=ra|lamport] [--seed=1]
+//
+// This walks the library's main entry point, core::SystemHarness, which
+// wires together everything the paper's case study needs: the simulator,
+// FIFO channels, the mutual-exclusion processes, per-process clients, the
+// graybox wrappers W' (Section 4), the fault injector, and the TME Spec
+// monitors.
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graybox;
+  using namespace graybox::core;
+
+  Flags flags(argc, argv,
+              {{"n", "number of processes (default 5)"},
+               {"algorithm", "ra | lamport (default ra)"},
+               {"seed", "experiment seed (default 1)"}});
+
+  HarnessConfig config;
+  config.n = static_cast<std::size_t>(flags.get_int("n", 5));
+  config.algorithm = flags.get("algorithm", "ra") == "lamport"
+                         ? Algorithm::kLamport
+                         : Algorithm::kRicartAgrawala;
+  config.wrapped = true;                 // attach the graybox wrapper W'
+  config.wrapper.resend_period = 20;     // the timeout delta of Section 4
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  SystemHarness system(config);
+  system.start();
+
+  std::cout << "graybox-stabilization quickstart: " << config.n << " "
+            << to_string(config.algorithm)
+            << " processes, wrapped with W' (delta=20)\n\n";
+
+  // Phase 1: fault-free warmup.
+  system.run_for(2000);
+  std::cout << "after 2000 fault-free ticks: "
+            << system.stats().cs_entries << " CS entries, "
+            << system.stats().messages_sent << " messages, "
+            << system.monitors().total_violations() << " violations\n";
+
+  // Phase 2: an adversarial burst — messages lost/duplicated/corrupted,
+  // process state overwritten arbitrarily (the full Section 3.1 model).
+  system.faults().burst(12, net::FaultMix::all());
+  std::cout << "\ninjected " << system.faults().total_injected()
+            << " faults at t=" << system.scheduler().now() << "\n";
+
+  // Phase 3: keep running; the wrapper repairs mutual inconsistencies.
+  system.run_for(8000);
+  system.drain(5000);
+
+  const StabilizationReport report = system.stabilization_report();
+  std::cout << "\nfinal verdict: " << report.to_string() << "\n";
+  std::cout << "total CS entries " << system.stats().cs_entries
+            << ", wrapper resends " << system.stats().wrapper_messages
+            << "\n";
+  std::cout << "\nThe run " << (report.stabilized ? "STABILIZED" : "FAILED")
+            << ": every TME Spec violation is confined to the window right "
+               "after the burst, exactly as Theorem 8 promises.\n";
+  return report.stabilized ? 0 : 1;
+}

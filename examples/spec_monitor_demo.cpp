@@ -1,0 +1,90 @@
+// Watching a specification: the UNITY monitors in action.
+//
+//   $ ./spec_monitor_demo
+//
+// Runs a 3-process Ricart-Agrawala system, injects one surgical fault — a
+// corrupted-high view, the inconsistency at the heart of Section 4 — and
+// prints the violations the TME Spec monitors record: a brief ME1 overlap
+// and an Invariant-I breach, both confined to the window before the system
+// heals. The same monitors report nothing before the fault and nothing
+// after stabilization.
+#include <iostream>
+
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+#include "me/ricart_agrawala.hpp"
+
+int main() {
+  using namespace graybox;
+  using namespace graybox::core;
+
+  HarnessConfig config;
+  config.n = 3;
+  config.algorithm = Algorithm::kRicartAgrawala;
+  config.wrapped = true;
+  config.wrapper.resend_period = 15;
+  config.client.think_mean = 25;
+  config.client.eat_mean = 6;
+  config.seed = 5;
+
+  SystemHarness system(config);
+  system.start();
+
+  std::cout << "spec_monitor_demo: 3-process Ricart-Agrawala, full TME "
+               "monitor battery\n\n";
+
+  system.run_for(1500);
+  std::cout << "fault-free prefix: " << system.monitors().total_violations()
+            << " violations over " << system.monitors().observed_states()
+            << " observed global states\n";
+
+  // Wait for a moment at which some peer is inside the critical section,
+  // so the fault provably matters.
+  while (!(system.process(1).eating() || system.process(2).eating())) {
+    system.run_for(1);
+  }
+
+  // One surgical fault: process 0 is led to believe its request is earlier
+  // than everyone else's — the false "REQj lt j.REQk" belief of Section 4 —
+  // and it requests the CS on that belief, entering alongside the real
+  // occupant.
+  auto& p0 = dynamic_cast<me::RicartAgrawala&>(system.process(0));
+  if (!p0.thinking()) p0.fault_set_state(me::TmeState::kThinking);
+  p0.fault_set_view(1, clk::Timestamp{1'000'000, 1});
+  p0.fault_set_view(2, clk::Timestamp{1'000'000, 2});
+  p0.request_cs();
+  const SimTime fault_at = system.scheduler().now();
+  std::cout << "\n[t=" << fault_at
+            << "] fault injected: process 0's views of its peers corrupted "
+               "sky-high while a peer holds the CS\n\n";
+
+  system.run_for(6000);
+  system.drain(3000);
+
+  std::cout << "violations recorded by each monitor:\n";
+  for (const auto& monitor : system.monitors().monitors()) {
+    std::cout << "  " << monitor->name() << ": "
+              << monitor->total_violations() << " violation(s)";
+    if (!monitor->clean()) {
+      std::cout << ", window [" << monitor->first_violation() << ", "
+                << monitor->last_violation() << "]";
+    }
+    std::cout << "\n";
+    std::size_t shown = 0;
+    for (const auto& v : monitor->violations()) {
+      if (++shown > 3) {
+        std::cout << "      ...\n";
+        break;
+      }
+      std::cout << "      " << v.to_string() << "\n";
+    }
+  }
+
+  const StabilizationReport report = system.stabilization_report();
+  std::cout << "\nverdict: " << report.to_string() << "\n";
+  std::cout << "\nEvery violation sits inside a finite window after the "
+               "fault at t=" << fault_at
+            << "; the suffix is clean — the monitors have watched the "
+               "system stabilize.\n";
+  return report.stabilized ? 0 : 1;
+}

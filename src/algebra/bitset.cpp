@@ -1,0 +1,109 @@
+#include "algebra/bitset.hpp"
+
+#include <bit>
+
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+
+Bitset::Bitset(std::size_t size)
+    : size_(size), words_((size + kBits - 1) / kBits, 0) {}
+
+bool Bitset::test(std::size_t i) const {
+  GBX_EXPECTS(i < size_);
+  return (words_[i / kBits] >> (i % kBits)) & 1u;
+}
+
+void Bitset::set(std::size_t i, bool value) {
+  GBX_EXPECTS(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kBits);
+  if (value)
+    words_[i / kBits] |= mask;
+  else
+    words_[i / kBits] &= ~mask;
+}
+
+void Bitset::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+void Bitset::fill() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  // Zero the bits past size_ so count()/equality stay canonical.
+  const std::size_t tail = size_ % kBits;
+  if (tail != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+std::size_t Bitset::count() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool Bitset::any() const {
+  for (const auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+bool Bitset::is_subset_of(const Bitset& other) const {
+  GBX_EXPECTS(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  return true;
+}
+
+bool Bitset::intersects(const Bitset& other) const {
+  GBX_EXPECTS(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  GBX_EXPECTS(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  GBX_EXPECTS(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::subtract(const Bitset& other) {
+  GBX_EXPECTS(other.size_ == size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::size_t Bitset::next_set(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t word = from / kBits;
+  std::uint64_t current = words_[word] & (~std::uint64_t{0} << (from % kBits));
+  while (true) {
+    if (current != 0) {
+      const std::size_t bit =
+          word * kBits + static_cast<std::size_t>(std::countr_zero(current));
+      return bit < size_ ? bit : size_;
+    }
+    if (++word >= words_.size()) return size_;
+    current = words_[word];
+  }
+}
+
+std::string Bitset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = next_set(0); i < size_; i = next_set(i + 1)) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace graybox::algebra

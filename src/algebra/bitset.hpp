@@ -1,0 +1,84 @@
+// Fixed-size dynamic bitset used by the finite-system algebra for successor
+// sets, reachable-state sets, and initial-state sets. The decision
+// procedures in checks.cpp are set-algebraic (inclusion, intersection,
+// fixpoints), so a compact bitset keeps them exact and fast even in the
+// randomized property sweeps that check the paper's theorems over thousands
+// of generated systems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graybox::algebra {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void reset(std::size_t i) { set(i, false); }
+  void clear();
+  void fill();
+
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// True iff every bit of *this is also set in `other` (subset).
+  bool is_subset_of(const Bitset& other) const;
+  bool intersects(const Bitset& other) const;
+
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  /// Remove the bits of `other` from *this.
+  Bitset& subtract(const Bitset& other);
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+  /// Index of the lowest set bit at or after `from`; size() if none.
+  std::size_t next_set(std::size_t from) const;
+
+  /// "{0,3,7}" rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Iterate set bits: for (auto s : bits(set)) { ... }
+class BitRange {
+ public:
+  explicit BitRange(const Bitset& bs) : bs_(bs) {}
+  class Iterator {
+   public:
+    Iterator(const Bitset& bs, std::size_t pos) : bs_(&bs), pos_(pos) {}
+    std::size_t operator*() const { return pos_; }
+    Iterator& operator++() {
+      pos_ = bs_->next_set(pos_ + 1);
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.pos_ == b.pos_;
+    }
+
+   private:
+    const Bitset* bs_;
+    std::size_t pos_;
+  };
+  Iterator begin() const { return Iterator(bs_, bs_.next_set(0)); }
+  Iterator end() const { return Iterator(bs_, bs_.size()); }
+
+ private:
+  const Bitset& bs_;
+};
+
+inline BitRange bits(const Bitset& bs) { return BitRange(bs); }
+
+}  // namespace graybox::algebra

@@ -1,0 +1,97 @@
+#include "algebra/checks.hpp"
+
+#include <algorithm>
+
+#include "algebra/scc.hpp"
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+namespace {
+
+/// Bad edges of C w.r.t. A (see the header comment): not an A-transition,
+/// or leaving/entering a state outside Reach_A(A.init).
+bool is_bad_edge(const System& c, const System& a, const Bitset& a_reach,
+                 State from, State to) {
+  (void)c;
+  if (!a.has_transition(from, to)) return true;
+  return !a_reach.test(from) || !a_reach.test(to);
+}
+
+}  // namespace
+
+bool implements_init(const System& c, const System& a) {
+  GBX_EXPECTS(c.total() && a.total());
+  GBX_EXPECTS(c.num_states() == a.num_states());
+  if (!c.initial().is_subset_of(a.initial())) return false;
+  const Bitset reach = c.reachable_from_initial();
+  for (const auto s : bits(reach)) {
+    if (!c.successors(s).is_subset_of(a.successors(s))) return false;
+  }
+  return true;
+}
+
+bool implements_everywhere(const System& c, const System& a) {
+  GBX_EXPECTS(c.total() && a.total());
+  GBX_EXPECTS(c.num_states() == a.num_states());
+  return c.relation_subset_of(a);
+}
+
+StabilizationVerdict stabilizes_to_verdict(const System& c, const System& a) {
+  GBX_EXPECTS(c.total() && a.total());
+  GBX_EXPECTS(c.num_states() == a.num_states());
+
+  const Bitset a_reach = a.reachable_from_initial();
+  const SccResult scc = strongly_connected_components(c);
+
+  StabilizationVerdict verdict;
+  verdict.stabilizes = true;
+  for (State s = 0; s < c.num_states(); ++s) {
+    for (const auto t : bits(c.successors(s))) {
+      if (!is_bad_edge(c, a, a_reach, s, t)) continue;
+      if (edge_on_cycle(c, scc, s, t)) {
+        verdict.stabilizes = false;
+        verdict.has_witness = true;
+        verdict.witness_from = s;
+        verdict.witness_to = t;
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+bool stabilizes_to(const System& c, const System& a) {
+  return stabilizes_to_verdict(c, a).stabilizes;
+}
+
+std::size_t stabilization_bad_step_bound(const System& c, const System& a) {
+  GBX_EXPECTS(c.num_states() == a.num_states());
+  const Bitset a_reach = a.reachable_from_initial();
+  const SccResult scc = strongly_connected_components(c);
+
+  // dp[comp] = max number of bad edges on any path starting in comp.
+  // Tarjan emits components in reverse topological order (sinks get the
+  // smallest ids), so a single pass in id order sees successors first.
+  std::vector<std::size_t> dp(scc.num_components, 0);
+  for (std::size_t comp = 0; comp < scc.num_components; ++comp) {
+    std::size_t best = 0;
+    for (State s = 0; s < c.num_states(); ++s) {
+      if (scc.component[s] != comp) continue;
+      for (const auto t : bits(c.successors(s))) {
+        const std::size_t bad =
+            is_bad_edge(c, a, a_reach, s, t) ? 1u : 0u;
+        if (scc.component[t] == comp) {
+          // Intra-SCC edges are good whenever C stabilizes to A
+          // (precondition); they contribute no bad steps.
+          continue;
+        }
+        best = std::max(best, dp[scc.component[t]] + bad);
+      }
+    }
+    dp[comp] = best;
+  }
+  if (dp.empty()) return 0;
+  return *std::max_element(dp.begin(), dp.end());
+}
+
+}  // namespace graybox::algebra

@@ -1,0 +1,62 @@
+// Decision procedures for the paper's relations between systems (Section 2).
+//
+// For fusion-closed systems whose computation sets are all infinite paths of
+// a total transition relation, each relation reduces to set algebra on the
+// relation and initial states, and is decided exactly:
+//
+//   [C => A]init  (implements):
+//       C.init is a subset of A.init, and every transition of C reachable
+//       (in C) from C.init is a transition of A.
+//
+//   [C => A]  (everywhere implements):
+//       every transition of C is a transition of A.  (Initial states are
+//       irrelevant: computations start anywhere.)
+//
+//   C stabilizes to A:
+//       call a C-transition (s,t) *bad* when it is not an A-transition or
+//       when s or t lies outside Reach_A(A.init).  A computation lacks the
+//       required suffix exactly when it takes bad transitions infinitely
+//       often, and in a finite graph such a computation exists iff some
+//       cycle of C contains a bad transition.  So: C stabilizes to A iff no
+//       bad C-transition lies on a C-cycle.
+//
+// All procedures require both systems to be well-formed over the same state
+// space. See tests/test_algebra.cpp for soundness checks against explicit
+// path enumeration on small systems, and bench_theorems_random for the
+// randomized verification of Lemma 0, Theorem 1, Lemmas 2-3, and Theorem 4.
+#pragma once
+
+#include "algebra/system.hpp"
+
+namespace graybox::algebra {
+
+/// [C => A]init — every computation of C from a C-initial state is a
+/// computation of A from an A-initial state.
+bool implements_init(const System& c, const System& a);
+
+/// [C => A] — every computation of C (from any state) is a computation of A.
+bool implements_everywhere(const System& c, const System& a);
+
+/// C is stabilizing to A — every computation of C has a suffix that is a
+/// suffix of some computation of A starting at an A-initial state.
+bool stabilizes_to(const System& c, const System& a);
+
+/// Detailed stabilization verdict for diagnostics: the offending cycle edge
+/// when the check fails.
+struct StabilizationVerdict {
+  bool stabilizes = false;
+  bool has_witness = false;  // meaningful only when !stabilizes
+  State witness_from = 0;
+  State witness_to = 0;
+};
+StabilizationVerdict stabilizes_to_verdict(const System& c, const System& a);
+
+/// A convergence measure: the maximum number of *bad* transitions (see the
+/// file comment) any computation of C can take. When C stabilizes to A this
+/// is finite — bad edges never lie on cycles, so they form a DAG across
+/// SCCs — and bounds how much "divergent" behaviour any computation can
+/// exhibit. Precondition: stabilizes_to(c, a). Returns 0 when every
+/// transition is already good.
+std::size_t stabilization_bad_step_bound(const System& c, const System& a);
+
+}  // namespace graybox::algebra

@@ -1,0 +1,160 @@
+#include "algebra/generate.hpp"
+
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+
+std::vector<std::string> figure1_state_names() {
+  return {"s*", "s0", "s1", "s2", "s3"};
+}
+
+System figure1_specification() {
+  System a(kFig1NumStates);
+  a.add_transition(kFig1S0, kFig1S1);
+  a.add_transition(kFig1S1, kFig1S2);
+  a.add_transition(kFig1S2, kFig1S3);
+  a.add_transition(kFig1S3, kFig1S3);
+  // From the fault-introduced state s*, the specification's computation
+  // "s*, s2, s3, ..." rejoins the initial computation: A stabilizes to A.
+  a.add_transition(kFig1StateCorrupt, kFig1S2);
+  a.set_initial(kFig1S0);
+  return a;
+}
+
+System figure1_implementation() {
+  System c(kFig1NumStates);
+  c.add_transition(kFig1S0, kFig1S1);
+  c.add_transition(kFig1S1, kFig1S2);
+  c.add_transition(kFig1S2, kFig1S3);
+  c.add_transition(kFig1S3, kFig1S3);
+  // The implementation was never designed for s*: from there it spins and
+  // never re-joins any computation of A from A's initial states.
+  c.add_transition(kFig1StateCorrupt, kFig1StateCorrupt);
+  c.set_initial(kFig1S0);
+  return c;
+}
+
+System figure1_everywhere_implementation() {
+  System c = figure1_implementation();
+  c.remove_transition(kFig1StateCorrupt, kFig1StateCorrupt);
+  c.add_transition(kFig1StateCorrupt, kFig1S2);
+  return c;
+}
+
+System random_system(Rng& rng, const RandomSystemParams& params) {
+  GBX_EXPECTS(params.num_states >= 1);
+  System sys(params.num_states);
+  for (State s = 0; s < params.num_states; ++s) {
+    for (State t = 0; t < params.num_states; ++t) {
+      if (rng.chance(params.edge_density)) sys.add_transition(s, t);
+    }
+  }
+  sys.ensure_total();
+  for (State s = 0; s < params.num_states; ++s) {
+    if (rng.chance(params.initial_density)) sys.set_initial(s);
+  }
+  if (!sys.initial().any()) sys.set_initial(rng.index(params.num_states));
+  GBX_ENSURES(sys.well_formed());
+  return sys;
+}
+
+System random_everywhere_implementation(Rng& rng, const System& a) {
+  GBX_EXPECTS(a.well_formed());
+  System c(a.num_states());
+  for (State s = 0; s < a.num_states(); ++s) {
+    // Keep a random nonempty subset of a's successors: pick one guaranteed
+    // survivor, then keep each other edge with probability 1/2.
+    std::vector<State> successors;
+    for (const auto t : bits(a.successors(s))) successors.push_back(t);
+    const State survivor = successors[rng.index(successors.size())];
+    for (const auto t : successors) {
+      if (t == survivor || rng.chance(0.5)) c.add_transition(s, t);
+    }
+  }
+  // Initial states: nonempty random subset of a's.
+  std::vector<State> inits;
+  for (const auto s : bits(a.initial())) inits.push_back(s);
+  const State kept = inits[rng.index(inits.size())];
+  for (const auto s : inits) {
+    if (s == kept || rng.chance(0.5)) c.set_initial(s);
+  }
+  GBX_ENSURES(c.well_formed());
+  return c;
+}
+
+System random_init_implementation(Rng& rng, const System& a) {
+  System c = random_everywhere_implementation(rng, a);
+  // Rewrite the rows of states unreachable from c's initial states with
+  // arbitrary behaviour; [c => a]init is insensitive to them, but everywhere
+  // implementation and stabilization generally break (Figure 1's shape).
+  const Bitset reach = c.reachable_from_initial();
+  for (State s = 0; s < c.num_states(); ++s) {
+    if (reach.test(s)) continue;
+    for (State t = 0; t < c.num_states(); ++t) {
+      if (rng.chance(0.3))
+        c.add_transition(s, t);
+      else if (rng.chance(0.3))
+        c.remove_transition(s, t);
+    }
+    if (c.successors(s).none()) c.add_transition(s, s);
+  }
+  GBX_ENSURES(c.well_formed());
+  return c;
+}
+
+System random_wrapper(Rng& rng, const System& a, std::size_t extra_edges) {
+  GBX_EXPECTS(a.well_formed());
+  // A wrapper typically *adds* recovery transitions: start from a sparse
+  // sub-relation of a (so that boxing does not remove behaviour a needs)
+  // and sprinkle extra edges, often aimed back at a's reachable region.
+  System w = random_everywhere_implementation(rng, a);
+  const Bitset a_reach = a.reachable_from_initial();
+  std::vector<State> reach_states;
+  for (const auto s : bits(a_reach)) reach_states.push_back(s);
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    const State from = rng.index(a.num_states());
+    const State to = rng.chance(0.7) && !reach_states.empty()
+                         ? reach_states[rng.index(reach_states.size())]
+                         : rng.index(a.num_states());
+    w.add_transition(from, to);
+  }
+  // Wrappers are agnostic to initialization: allow every state, so boxing
+  // with any system preserves that system's initial states.
+  for (State s = 0; s < w.num_states(); ++s) w.set_initial(s);
+  GBX_ENSURES(w.well_formed());
+  return w;
+}
+
+System lift_local(const System& local, int which, std::size_t low_states,
+                  std::size_t high_states) {
+  GBX_EXPECTS(which == 0 || which == 1);
+  GBX_EXPECTS(local.num_states() == (which == 0 ? low_states : high_states));
+  const std::size_t product = low_states * high_states;
+  System lifted(product);
+  auto encode = [low_states](State low, State high) {
+    return high * low_states + low;
+  };
+  for (State u = 0; u < local.num_states(); ++u) {
+    for (const auto v : bits(local.successors(u))) {
+      if (which == 0) {
+        for (State w = 0; w < high_states; ++w)
+          lifted.add_transition(encode(u, w), encode(v, w));
+      } else {
+        for (State w = 0; w < low_states; ++w)
+          lifted.add_transition(encode(w, u), encode(w, v));
+      }
+    }
+  }
+  for (State u = 0; u < local.num_states(); ++u) {
+    if (!local.is_initial(u)) continue;
+    if (which == 0) {
+      for (State w = 0; w < high_states; ++w) lifted.set_initial(encode(u, w));
+    } else {
+      for (State w = 0; w < low_states; ++w) lifted.set_initial(encode(w, u));
+    }
+  }
+  GBX_ENSURES(lifted.well_formed());
+  return lifted;
+}
+
+}  // namespace graybox::algebra

@@ -1,0 +1,86 @@
+// Constructors for the paper's Figure 1 and for the randomized system
+// families used to property-check Lemma 0, Theorem 1, Lemmas 2-3, and
+// Theorem 4 (tests/test_algebra_theorems.cpp, bench_theorems_random).
+#pragma once
+
+#include "algebra/system.hpp"
+#include "common/rng.hpp"
+
+namespace graybox::algebra {
+
+// ---------------------------------------------------------------------------
+// Figure 1 (Section 2.1): the counterexample showing that
+// "[C => A]init and A stabilizing to A" does NOT imply "C stabilizing to A".
+//
+// States: s* = 0, s0 = 1, s1 = 2, s2 = 3, s3 = 4; initial state s0.
+//   A: s0->s1->s2->s3->s3 and s*->s2  (from the corrupted state s*, A's
+//      computation "s*, s2, s3, ..." re-joins the initial computation)
+//   C: the same initial computation, but from s* C loops forever, never
+//      rejoining; so [C => A]init holds while C is not stabilizing to A.
+//   C_fixed: C with s*'s behaviour replaced by A's (an *everywhere*
+//      implementation), which Theorem 1 promises is stabilizing.
+// ---------------------------------------------------------------------------
+
+inline constexpr State kFig1StateCorrupt = 0;  // s*
+inline constexpr State kFig1S0 = 1;
+inline constexpr State kFig1S1 = 2;
+inline constexpr State kFig1S2 = 3;
+inline constexpr State kFig1S3 = 4;
+inline constexpr std::size_t kFig1NumStates = 5;
+
+/// Names {"s*","s0","s1","s2","s3"} for printing.
+std::vector<std::string> figure1_state_names();
+
+System figure1_specification();           // A
+System figure1_implementation();          // C  (init-only implementation)
+System figure1_everywhere_implementation();  // C_fixed
+
+// ---------------------------------------------------------------------------
+// Random families. All generators produce well-formed systems.
+// ---------------------------------------------------------------------------
+
+struct RandomSystemParams {
+  std::size_t num_states = 8;
+  /// Probability of each potential transition being present (self-loops
+  /// included); totality is restored afterwards if sampling left a state
+  /// without successors.
+  double edge_density = 0.3;
+  /// Probability of each state being initial; at least one is forced.
+  double initial_density = 0.25;
+};
+
+/// An arbitrary well-formed system.
+System random_system(Rng& rng, const RandomSystemParams& params);
+
+/// A sub-system of `a`: transitions and initial states are subsets of a's
+/// (totality preserved by keeping at least one successor per state), so
+/// [result => a] and [result => a]init both hold by construction.
+System random_everywhere_implementation(Rng& rng, const System& a);
+
+/// A system that implements `a` from its initial states but may behave
+/// arbitrarily on states unreachable from them — the Figure-1 shape that
+/// breaks graybox reasoning for non-everywhere specifications.
+System random_init_implementation(Rng& rng, const System& a);
+
+/// A wrapper candidate for `a`: adds `extra_edges` random transitions on top
+/// of a subset restriction (wrappers typically *add* recovery transitions).
+System random_wrapper(Rng& rng, const System& a, std::size_t extra_edges);
+
+// ---------------------------------------------------------------------------
+// Local (per-process) composition for Lemmas 2-3 / Theorem 4: the state
+// space of a two-process system is the product of two local spaces, and a
+// local system constrains only its own component, interleaving-style.
+// ---------------------------------------------------------------------------
+
+/// Lift a local system of process `which` (0 = low component, 1 = high) over
+/// a product space of `low_states` x `high_states` states: each local
+/// transition u -> v yields product transitions (u, w) -> (v, w) for every
+/// state w of the other process, plus stutter steps are NOT added (asynchrony
+/// comes from boxing the two lifts, which unions their interleavings).
+/// Initial states are the products of local initial states with all states
+/// of the other component (the other component is constrained by its own
+/// lift when the two are boxed).
+System lift_local(const System& local, int which, std::size_t low_states,
+                  std::size_t high_states);
+
+}  // namespace graybox::algebra

@@ -1,0 +1,84 @@
+#include "algebra/scc.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+
+SccResult strongly_connected_components(const System& system) {
+  const std::size_t n = system.num_states();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<State> stack;
+  std::size_t next_index = 0;
+
+  // Iterative Tarjan: each frame tracks the state and its successor cursor.
+  struct Frame {
+    State state;
+    std::size_t cursor;  // next successor bit position to explore
+  };
+  std::vector<Frame> frames;
+
+  for (State root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const State s = frame.state;
+      const Bitset& successors = system.successors(s);
+      const std::size_t t = successors.next_set(frame.cursor);
+      if (t < successors.size()) {
+        frame.cursor = t + 1;
+        if (index[t] == kUnvisited) {
+          index[t] = lowlink[t] = next_index++;
+          stack.push_back(t);
+          on_stack[t] = true;
+          frames.push_back(Frame{t, 0});
+        } else if (on_stack[t]) {
+          lowlink[s] = std::min(lowlink[s], index[t]);
+        }
+        continue;
+      }
+      // Successors exhausted: close the frame.
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().state] =
+            std::min(lowlink[frames.back().state], lowlink[s]);
+      }
+      if (lowlink[s] == index[s]) {
+        while (true) {
+          const State w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.num_components;
+          if (w == s) break;
+        }
+        ++result.num_components;
+      }
+    }
+  }
+
+  GBX_ENSURES(std::all_of(result.component.begin(), result.component.end(),
+                          [&](std::size_t c) { return c != kUnvisited; }));
+  return result;
+}
+
+bool edge_on_cycle(const System& system, const SccResult& scc, State from,
+                   State to) {
+  GBX_EXPECTS(system.has_transition(from, to));
+  if (from == to) return true;  // self-loop
+  return scc.same_component(from, to);
+}
+
+}  // namespace graybox::algebra

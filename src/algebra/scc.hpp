@@ -1,0 +1,31 @@
+// Strongly connected components (iterative Tarjan) over a System's
+// transition graph. stabilizes_to reduces to "no cycle through a bad
+// transition", and an edge lies on a cycle exactly when its endpoints share
+// an SCC (or it is a self-loop), so SCC decomposition is the workhorse of
+// the stabilization decision procedure.
+#pragma once
+
+#include <vector>
+
+#include "algebra/system.hpp"
+
+namespace graybox::algebra {
+
+struct SccResult {
+  /// Component id per state; ids are dense in [0, num_components).
+  std::vector<std::size_t> component;
+  std::size_t num_components = 0;
+
+  bool same_component(State a, State b) const {
+    return component[a] == component[b];
+  }
+};
+
+SccResult strongly_connected_components(const System& system);
+
+/// True iff the edge (from, to) — which must exist — lies on some cycle of
+/// the system's transition graph.
+bool edge_on_cycle(const System& system, const SccResult& scc, State from,
+                   State to);
+
+}  // namespace graybox::algebra

@@ -1,0 +1,103 @@
+#include "algebra/synthesis.hpp"
+
+#include "algebra/scc.hpp"
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+
+System synthesize_reset_wrapper(const System& a) {
+  GBX_EXPECTS(a.well_formed());
+  const Bitset reach = a.reachable_from_initial();
+  const std::size_t target = a.initial().next_set(0);
+  GBX_ASSERT(target < a.num_states());
+
+  System wrapper(a.num_states());
+  for (State s = 0; s < a.num_states(); ++s) {
+    if (!reach.test(s)) wrapper.add_transition(s, target);
+    wrapper.set_initial(s);  // wrappers do not constrain initialization
+  }
+  return wrapper;
+}
+
+Bitset fair_convergence_region(const System& c, const System& w,
+                               const System& a) {
+  GBX_EXPECTS(c.num_states() == a.num_states());
+  GBX_EXPECTS(w.num_states() == a.num_states());
+  // Greatest fixpoint: start from Reach_A(init) and remove states with a
+  // (C u W)-edge that leaves the candidate set or is not an A-edge.
+  Bitset g = a.reachable_from_initial();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto s : bits(g)) {
+      bool keep = true;
+      for (const System* sys : {&c, &w}) {
+        for (const auto t : bits(sys->successors(s))) {
+          if (!g.test(t) || !a.has_transition(s, t)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) break;
+      }
+      if (!keep) {
+        g.reset(s);
+        changed = true;
+        break;  // bitset iteration invalidated; restart the scan
+      }
+    }
+  }
+  return g;
+}
+
+bool fair_stabilizes_to(const System& c, const System& w, const System& a) {
+  GBX_EXPECTS(c.total() && a.total());
+  GBX_EXPECTS(c.num_states() == a.num_states());
+  GBX_EXPECTS(w.num_states() == a.num_states());
+
+  const Bitset g = fair_convergence_region(c, w, a);
+
+  // Adversary graph H over B = States \ G: C-edges staying inside B plus
+  // W-edges staying inside B (marked). The fairness obligation — the
+  // wrapper action executes infinitely often — is served along a walk
+  // either by *skipping* at a state where W has no edge, or by *taking* a
+  // W-edge; at a state whose W-edges all leave B, serving it ejects the
+  // adversary into G. Hence the adversary survives forever in B iff H has
+  // a cycle that (a) contains a marked (W-to-B) edge, or (b) passes
+  // through a state with no W-edge at all (obligations served as skips
+  // there while the walk keeps moving).
+  const std::size_t n = c.num_states();
+  System h(n);
+  std::vector<std::pair<State, State>> marked;
+  for (State s = 0; s < n; ++s) {
+    if (g.test(s)) continue;
+    for (const auto t : bits(c.successors(s))) {
+      if (!g.test(t)) h.add_transition(s, t);
+    }
+    for (const auto t : bits(w.successors(s))) {
+      if (!g.test(t)) {
+        h.add_transition(s, t);
+        marked.emplace_back(s, t);
+      }
+    }
+  }
+
+  const SccResult scc = strongly_connected_components(h);
+  for (const auto& [s, t] : marked) {
+    if (s == t || scc.same_component(s, t)) return false;  // case (a)
+  }
+  for (State s = 0; s < n; ++s) {
+    if (g.test(s) || w.successors(s).any()) continue;
+    // Case (b): is the W-edgeless state s on any H-cycle? Yes iff it has a
+    // self-loop or shares its SCC with another state.
+    if (h.has_transition(s, s)) return false;
+    for (State t = 0; t < n; ++t) {
+      if (t != s && scc.same_component(s, t)) return false;
+    }
+  }
+  // Every fair computation is eventually ejected from B into G, and G is
+  // closed with A-edges only.
+  return true;
+}
+
+}  // namespace graybox::algebra

@@ -1,0 +1,76 @@
+// Automatic synthesis of graybox stabilization (paper Section 6: "Another
+// direction we are pursuing is automatic synthesis of graybox
+// dependability.").
+//
+// Over the finite-system algebra the synthesis question is concrete: given
+// only the specification A, construct a wrapper W such that A [] W — and by
+// the graybox argument every everywhere implementation boxed with W — is
+// stabilizing to A.
+//
+// One subtlety makes this interesting. Under the *demonic* all-paths
+// semantics of checks.hpp, boxing can only ADD computations, so no wrapper
+// can repair a specification whose own stray states cycle: the adversary
+// simply never takes the wrapper's recovery edges. What makes real wrappers
+// work is the fairness of their execution model — the paper writes W in
+// UNITY, whose semantics executes every action infinitely often, and the
+// deployable W' realizes exactly that with its timeout. (This is why the
+// wrapper has a timer at all.)
+//
+// Accordingly this module provides both halves:
+//
+//   * synthesize_reset_wrapper(A): the canonical recovery wrapper — one
+//     reset edge from every state outside Reach_A(A.init) to an initial
+//     state of A. Derived from A alone: graybox by construction.
+//
+//   * fair_stabilizes_to(C, W, A): stabilization of C [] W under
+//     unconditional fairness of the wrapper action (each execution takes a
+//     wrapper step infinitely often; a wrapper step at a state where W has
+//     no edge skips). Decided exactly by an adversary-graph construction:
+//     the adversary avoids convergence iff the "bad" region contains a
+//     cycle it can traverse while serving wrapper steps harmlessly.
+//
+// tests/test_synthesis.cpp property-checks the synthesis theorem (the
+// synthesized wrapper fairly stabilizes every everywhere implementation of
+// A) and the relation between the demonic and fair semantics; the
+// bench_theorems_random binary measures how often fairness is *necessary*.
+#pragma once
+
+#include "algebra/system.hpp"
+
+namespace graybox::algebra {
+
+/// The canonical graybox recovery wrapper for specification `a`: for every
+/// state outside Reach_a(a.init), one reset edge to the lowest-index
+/// initial state of `a`; no edges elsewhere; initial states = all states
+/// (a wrapper does not constrain initialization). Requires a well-formed
+/// `a`. The result is NOT total on its own — it acts only where repair is
+/// needed — which is fine: it is a wrapper, boxed onto total systems.
+System synthesize_reset_wrapper(const System& a);
+
+/// Stabilization of C [] W to A under unconditional fairness of the
+/// wrapper action. Exact over ultimately-periodic computations:
+///
+///   1. G := greatest subset of Reach_A(A.init) closed under C u W whose
+///      internal edges are A-edges (once inside G, every continuation is a
+///      suffix of an A-computation from A's initial states);
+///   2. the adversary wins iff the region B = States \ G contains a cycle
+///      of (C u W)-edges that either uses a W-edge staying in B or passes
+///      through a state where W has no edge — along such a cycle every
+///      fairness obligation can be served (by that W-edge, or by skipping
+///      at the W-edgeless state) without ever being ejected into G.
+///
+/// fair_stabilizes_to == no such cycle. The procedure is exact when the
+/// wrapper acts only outside Reach_A(A.init) (recovery wrappers, including
+/// every synthesized one); wrappers that also act inside the reachable
+/// region can shrink G below the true convergence set, making the verdict
+/// conservative (it may say "no" where the true fair semantics stabilizes,
+/// never the reverse). With W empty and C an everywhere implementation it
+/// coincides with stabilizes_to(C, A).
+bool fair_stabilizes_to(const System& c, const System& w, const System& a);
+
+/// The convergence region G used by fair_stabilizes_to (exposed for tests
+/// and diagnostics).
+Bitset fair_convergence_region(const System& c, const System& w,
+                               const System& a);
+
+}  // namespace graybox::algebra

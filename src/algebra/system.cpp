@@ -1,0 +1,121 @@
+#include "algebra/system.hpp"
+
+#include <deque>
+
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+
+System::System(std::size_t num_states)
+    : succ_(num_states, Bitset(num_states)), initial_(num_states) {}
+
+void System::add_transition(State from, State to) {
+  GBX_EXPECTS(from < num_states() && to < num_states());
+  succ_[from].set(to);
+}
+
+void System::remove_transition(State from, State to) {
+  GBX_EXPECTS(from < num_states() && to < num_states());
+  succ_[from].reset(to);
+}
+
+bool System::has_transition(State from, State to) const {
+  GBX_EXPECTS(from < num_states() && to < num_states());
+  return succ_[from].test(to);
+}
+
+const Bitset& System::successors(State from) const {
+  GBX_EXPECTS(from < num_states());
+  return succ_[from];
+}
+
+void System::set_initial(State s, bool value) {
+  GBX_EXPECTS(s < num_states());
+  initial_.set(s, value);
+}
+
+bool System::total() const {
+  if (num_states() == 0) return false;
+  for (const auto& successors : succ_)
+    if (successors.none()) return false;
+  return true;
+}
+
+bool System::well_formed() const { return total() && initial_.any(); }
+
+void System::ensure_total() {
+  for (State s = 0; s < num_states(); ++s)
+    if (succ_[s].none()) succ_[s].set(s);
+}
+
+std::size_t System::num_transitions() const {
+  std::size_t total = 0;
+  for (const auto& successors : succ_) total += successors.count();
+  return total;
+}
+
+Bitset System::reachable_from(const Bitset& from) const {
+  GBX_EXPECTS(from.size() == num_states());
+  Bitset reached = from;
+  std::deque<State> frontier;
+  for (const auto s : bits(from)) frontier.push_back(s);
+  while (!frontier.empty()) {
+    const State s = frontier.front();
+    frontier.pop_front();
+    for (const auto t : bits(succ_[s])) {
+      if (!reached.test(t)) {
+        reached.set(t);
+        frontier.push_back(t);
+      }
+    }
+  }
+  return reached;
+}
+
+System System::box(const System& a, const System& b) {
+  GBX_EXPECTS(a.num_states() == b.num_states());
+  System combined(a.num_states());
+  for (State s = 0; s < a.num_states(); ++s) {
+    combined.succ_[s] = a.succ_[s];
+    combined.succ_[s] |= b.succ_[s];
+  }
+  combined.initial_ = a.initial_;
+  combined.initial_ &= b.initial_;
+  return combined;
+}
+
+bool System::relation_subset_of(const System& other) const {
+  GBX_EXPECTS(other.num_states() == num_states());
+  for (State s = 0; s < num_states(); ++s)
+    if (!succ_[s].is_subset_of(other.succ_[s])) return false;
+  return true;
+}
+
+std::string System::to_string(
+    const std::vector<std::string>& state_names) const {
+  auto name = [&](State s) {
+    return s < state_names.size() ? state_names[s] : std::to_string(s);
+  };
+  std::string out;
+  out += "initial: {";
+  bool first = true;
+  for (const auto s : bits(initial_)) {
+    if (!first) out += ",";
+    out += name(s);
+    first = false;
+  }
+  out += "}\n";
+  for (State s = 0; s < num_states(); ++s) {
+    out += "  " + name(s) + " -> {";
+    first = true;
+    for (const auto t : bits(succ_[s])) {
+      if (!first) out += ",";
+      out += name(t);
+      first = false;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace graybox::algebra

@@ -1,0 +1,87 @@
+// Finite-state realization of the paper's system model (Section 2).
+//
+// The paper defines a system over a state space Sigma as "a set of (possibly
+// infinite) sequences over Sigma, with at least one sequence starting from
+// every state", assumed fusion closed. We realize the fusion-closed case
+// that the paper's specification/implementation languages (UNITY, guarded
+// commands) produce: a system is a *total transition relation* plus a set of
+// initial states, and its computations are ALL infinite paths of the
+// relation, starting anywhere.
+//
+//   * "at least one sequence from every state"  <=>  relation totality
+//     (every state has a successor), checked by well_formed();
+//   * fusion closure holds by construction: path sets of a relation are
+//     closed under splicing at shared states;
+//   * the box composition C [] W ("smallest fusion closed set containing
+//     the computations of C and of W, initial states = common initial
+//     states") is realized as the union of the relations with intersected
+//     initial sets — the smallest relation-generated fusion-closed
+//     superset. See checks.hpp for the decision procedures built on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/bitset.hpp"
+
+namespace graybox::algebra {
+
+/// A state is an index into the system's state space.
+using State = std::size_t;
+
+class System {
+ public:
+  System() = default;
+  /// A system over `num_states` states, no transitions, no initial states.
+  explicit System(std::size_t num_states);
+
+  std::size_t num_states() const { return succ_.size(); }
+
+  void add_transition(State from, State to);
+  void remove_transition(State from, State to);
+  bool has_transition(State from, State to) const;
+
+  /// Successor set of `from`.
+  const Bitset& successors(State from) const;
+
+  void set_initial(State s, bool value = true);
+  bool is_initial(State s) const { return initial_.test(s); }
+  const Bitset& initial() const { return initial_; }
+
+  /// Totality alone: every state has at least one successor (the paper's
+  /// "at least one sequence starting from every state"). Initial states may
+  /// be empty — e.g. a box composition with disjoint initializations — and
+  /// such systems still have well-defined computations-from-anywhere.
+  bool total() const;
+
+  /// Totality plus at least one initial state.
+  bool well_formed() const;
+
+  /// Make the relation total by adding a self-loop to every successor-less
+  /// state (convenient when deriving systems by deleting transitions).
+  void ensure_total();
+
+  std::size_t num_transitions() const;
+
+  /// States reachable from `from` (inclusive) via the relation.
+  Bitset reachable_from(const Bitset& from) const;
+  Bitset reachable_from_initial() const { return reachable_from(initial_); }
+
+  /// Union of relations, intersection of initial sets: the box operator
+  /// (Section 2.1). Requires equal state spaces.
+  static System box(const System& a, const System& b);
+
+  /// True iff every transition of *this is a transition of `other`.
+  bool relation_subset_of(const System& other) const;
+
+  /// Multi-line dump for diagnostics and the Figure-1 bench.
+  std::string to_string(
+      const std::vector<std::string>& state_names = {}) const;
+
+ private:
+  std::vector<Bitset> succ_;
+  Bitset initial_;
+};
+
+}  // namespace graybox::algebra

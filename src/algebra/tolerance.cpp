@@ -1,0 +1,117 @@
+#include "algebra/tolerance.hpp"
+
+#include "algebra/checks.hpp"
+#include "algebra/scc.hpp"
+#include "common/contracts.hpp"
+
+namespace graybox::algebra {
+namespace {
+
+/// True iff the sub-relation of `sys` induced on `allowed` states contains
+/// a cycle. Any SCC of the induced graph with an internal edge (including a
+/// self-loop) witnesses one.
+bool has_cycle_within(const System& sys, const Bitset& allowed) {
+  // Build the induced system (edges with both endpoints allowed).
+  System induced(sys.num_states());
+  for (State s = 0; s < sys.num_states(); ++s) {
+    if (!allowed.test(s)) continue;
+    for (const auto t : bits(sys.successors(s))) {
+      if (allowed.test(t)) induced.add_transition(s, t);
+    }
+  }
+  const SccResult scc = strongly_connected_components(induced);
+  for (State s = 0; s < induced.num_states(); ++s) {
+    for (const auto t : bits(induced.successors(s))) {
+      if (s == t || scc.same_component(s, t)) return true;
+    }
+  }
+  return false;
+}
+
+/// The liveness half: no computation may eventually avoid `recurrent`
+/// forever, i.e. `sys` has no cycle confined to `region` minus the
+/// recurrent states.
+bool recurrence_honoured(const System& sys, const Bitset& region,
+                         const Bitset& recurrent) {
+  Bitset avoid = region;
+  avoid.subtract(recurrent);
+  return !has_cycle_within(sys, avoid);
+}
+
+}  // namespace
+
+LiveSpec LiveSpec::trivial(System safety) {
+  LiveSpec spec;
+  Bitset all(safety.num_states());
+  all.fill();
+  spec.safety = std::move(safety);
+  spec.recurrent = all;
+  return spec;
+}
+
+System with_faults(const System& c, const System& faults) {
+  GBX_EXPECTS(c.num_states() == faults.num_states());
+  System combined(c.num_states());
+  for (State s = 0; s < c.num_states(); ++s) {
+    for (const auto t : bits(c.successors(s))) combined.add_transition(s, t);
+    for (const auto t : bits(faults.successors(s)))
+      combined.add_transition(s, t);
+  }
+  for (const auto s : bits(c.initial())) combined.set_initial(s);
+  return combined;
+}
+
+bool failsafe_tolerant(const System& c, const System& faults,
+                       const LiveSpec& spec) {
+  GBX_EXPECTS(c.total() && spec.safety.total());
+  GBX_EXPECTS(c.num_states() == spec.safety.num_states());
+  GBX_EXPECTS(c.num_states() == faults.num_states());
+  // Safety in the presence of faults: every step of every fault-affected
+  // computation from C's initial states is a safety step, starting from a
+  // specification initial state.
+  const System perturbed = with_faults(c, faults);
+  if (!perturbed.initial().is_subset_of(spec.safety.initial())) return false;
+  const Bitset reach = perturbed.reachable_from_initial();
+  for (const auto s : bits(reach)) {
+    if (!perturbed.successors(s).is_subset_of(spec.safety.successors(s)))
+      return false;
+  }
+  return true;
+}
+
+bool masking_tolerant(const System& c, const System& faults,
+                      const LiveSpec& spec) {
+  if (!failsafe_tolerant(c, faults, spec)) return false;
+  // Liveness: fault-affected computations take finitely many fault steps
+  // (Section 3.1: "any finite number of these faults"), so each has an
+  // all-C suffix; that suffix must visit the recurrent states infinitely
+  // often. Equivalently: no C-cycle inside the fault-reachable region
+  // avoids them.
+  const Bitset reach = with_faults(c, faults).reachable_from_initial();
+  return recurrence_honoured(c, reach, spec.recurrent);
+}
+
+bool nonmasking_tolerant(const System& c, const LiveSpec& spec) {
+  GBX_EXPECTS(c.total() && spec.safety.total());
+  GBX_EXPECTS(c.num_states() == spec.safety.num_states());
+  // Convergence of the safety half: stabilization to the safety system.
+  if (!stabilizes_to(c, spec.safety)) return false;
+  // Liveness of the converged suffix: within the specification's reachable
+  // region (where every converged suffix lives), C must keep visiting the
+  // recurrent states.
+  const Bitset region = spec.safety.reachable_from_initial();
+  return recurrence_honoured(c, region, spec.recurrent);
+}
+
+System random_fault_relation(Rng& rng, std::size_t num_states,
+                             std::size_t edges) {
+  System faults(num_states);
+  for (std::size_t i = 0; i < edges; ++i) {
+    const State from = rng.index(num_states);
+    const State to = rng.index(num_states);
+    faults.add_transition(from, to);
+  }
+  return faults;
+}
+
+}  // namespace graybox::algebra

@@ -1,0 +1,90 @@
+// Graybox design of OTHER dependability properties (paper Section 6).
+//
+// "Although we have limited our discussion of the graybox approach to the
+//  property of stabilization, the approach is applicable for the design of
+//  other dependability properties, for example, masking fault-tolerance and
+//  fail-safe fault-tolerance. (A system is masking fault-tolerant iff its
+//  computations in the presence of the faults implement the specification.
+//  A component is fail-safe fault-tolerant iff its computations in the
+//  presence of faults implement the 'safety' part [but not necessarily the
+//  liveness part] of its specification.)"
+//
+// This module mechanizes those definitions over the finite-system algebra:
+//
+//   * Faults are themselves a transition relation F over the state space
+//     (the classic Arora-Gouda model); "computations in the presence of
+//     faults" are the paths of C union F from C's initial states, with
+//     finitely many F-steps (faults occur finitely often, Section 3.1).
+//   * For relation-generated systems the safety closure of a computation
+//     set equals the set itself, which would collapse fail-safe into
+//     masking. To keep the liveness part non-trivial we pair the safety
+//     relation with a recurrence obligation (a Buechi-style set of states
+//     every computation must visit infinitely often):
+//
+//       LiveSpec = { safety : System, recurrent : Bitset }
+//
+//     A computation satisfies the spec iff it is a safety computation from
+//     an initial state AND visits `recurrent` infinitely often.
+//
+// Decision procedures (exact, same style as checks.hpp):
+//
+//   masking:   every (C u F)-edge reachable from C.init is a safety edge,
+//              C.init within spec initial states, and every C-cycle
+//              reachable in (C u F) intersects `recurrent` (the eventual
+//              all-C suffix carries the liveness obligation);
+//   fail-safe: the safety half of masking only;
+//   nonmasking:C recovers after faults stop — i.e. C stabilizes to the
+//              safety system (checks.hpp) and every reachable C-cycle
+//              intersects `recurrent`.
+//
+// The graybox transfer results (the Section 6 claim that everywhere
+// implementations inherit wrapper-added masking/fail-safe tolerance) are
+// property-checked in tests/test_tolerance.cpp and measured in
+// bench_graybox_tolerance.
+#pragma once
+
+#include "algebra/system.hpp"
+#include "common/rng.hpp"
+
+namespace graybox::algebra {
+
+/// A specification with an explicit liveness half.
+struct LiveSpec {
+  System safety;
+  /// States to be visited infinitely often; an empty set (all bits clear)
+  /// is rejected by the procedures below unless `recurrent_trivial` — use
+  /// trivial() to opt out of the liveness half explicitly.
+  Bitset recurrent;
+
+  /// A LiveSpec whose liveness half is vacuous (every state recurrent).
+  static LiveSpec trivial(System safety);
+};
+
+/// C's behaviour in the presence of the fault relation F: the union of the
+/// relations with C's initial states (faults perturb, they do not
+/// re-initialize).
+System with_faults(const System& c, const System& faults);
+
+/// Masking tolerance: computations of C in the presence of F implement the
+/// specification (safety AND liveness), from C's initial states.
+bool masking_tolerant(const System& c, const System& faults,
+                      const LiveSpec& spec);
+
+/// Fail-safe tolerance: computations in the presence of F implement the
+/// safety part of the specification only.
+bool failsafe_tolerant(const System& c, const System& faults,
+                       const LiveSpec& spec);
+
+/// Nonmasking tolerance (the stabilization-shaped property): once faults
+/// stop, every computation converges to a suffix satisfying the
+/// specification. Faults take the system anywhere, so this is fault-
+/// relation independent: C stabilizes to the safety system and C's
+/// reachable cycles honour the recurrence obligation.
+bool nonmasking_tolerant(const System& c, const LiveSpec& spec);
+
+/// Random fault relation: `edges` arbitrary perturbation edges sprinkled
+/// over the state space (may include edges the spec forbids).
+System random_fault_relation(Rng& rng, std::size_t num_states,
+                             std::size_t edges);
+
+}  // namespace graybox::algebra

@@ -1,0 +1,17 @@
+#include "clock/logical_clock.hpp"
+
+#include <algorithm>
+
+namespace graybox::clk {
+
+Timestamp LogicalClock::tick() {
+  ++counter_;
+  return now();
+}
+
+Timestamp LogicalClock::witness(const Timestamp& observed) {
+  counter_ = std::max(counter_, observed.counter);
+  return tick();
+}
+
+}  // namespace graybox::clk

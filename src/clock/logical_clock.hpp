@@ -1,0 +1,41 @@
+// Lamport logical clock [Lamport 78], the paper's example of a component
+// that *everywhere implements* Timestamp Spec: no matter what value the
+// counter holds (including an adversarially corrupted one), ticking and
+// witnessing preserve "hb implies lt" for all subsequent events.
+//
+// That everywhere property is what makes clock corruption a recoverable
+// fault: a sky-high corrupted counter propagates (other clocks witness it
+// and jump forward) but never stalls the system, and a corrupted-low counter
+// is healed by the first message received from any peer ahead of it.
+#pragma once
+
+#include "clock/timestamp.hpp"
+
+namespace graybox::clk {
+
+class LogicalClock {
+ public:
+  explicit LogicalClock(ProcessId pid) : pid_(pid) {}
+
+  /// Current value; the timestamp of the most recent local event.
+  Timestamp now() const { return Timestamp{counter_, pid_}; }
+
+  /// Advance for a local event (including sends) and return the new value.
+  Timestamp tick();
+
+  /// Incorporate a timestamp observed on a received message: the clock
+  /// jumps above it, then ticks for the receive event itself.
+  Timestamp witness(const Timestamp& observed);
+
+  /// Fault hook: overwrite the counter with an arbitrary value. Models the
+  /// "transiently and arbitrarily corrupted" process state of Section 3.1.
+  void corrupt(std::uint64_t counter) { counter_ = counter; }
+
+  ProcessId pid() const { return pid_; }
+
+ private:
+  std::uint64_t counter_ = 0;
+  ProcessId pid_;
+};
+
+}  // namespace graybox::clk

@@ -1,0 +1,15 @@
+#include "clock/timestamp.hpp"
+
+#include <ostream>
+
+namespace graybox::clk {
+
+std::string Timestamp::to_string() const {
+  return std::to_string(counter) + "." + std::to_string(pid);
+}
+
+std::ostream& operator<<(std::ostream& os, const Timestamp& ts) {
+  return os << ts.to_string();
+}
+
+}  // namespace graybox::clk

@@ -1,0 +1,51 @@
+#include "clock/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace graybox::clk {
+
+VectorClock::VectorClock(ProcessId pid, std::size_t n)
+    : components_(n, 0), pid_(pid) {
+  GBX_EXPECTS(pid < n);
+}
+
+void VectorClock::tick() {
+  GBX_EXPECTS(!components_.empty());
+  ++components_[pid_];
+}
+
+void VectorClock::witness(const VectorClock& other) {
+  GBX_EXPECTS(other.components_.size() == components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i)
+    components_[i] = std::max(components_[i], other.components_[i]);
+  tick();
+}
+
+bool VectorClock::happened_before(const VectorClock& other) const {
+  GBX_EXPECTS(other.components_.size() == components_.size());
+  bool some_strict = false;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] > other.components_[i]) return false;
+    if (components_[i] < other.components_[i]) some_strict = true;
+  }
+  return some_strict;
+}
+
+bool VectorClock::concurrent_with(const VectorClock& other) const {
+  return !happened_before(other) && !other.happened_before(*this) &&
+         components_ != other.components_;
+}
+
+std::string VectorClock::to_string() const {
+  std::string out = "<";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(components_[i]);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace graybox::clk

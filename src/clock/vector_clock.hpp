@@ -1,0 +1,50 @@
+// Vector clocks, used only on the monitoring side.
+//
+// ME3 (first-come first-serve) is stated over Lamport's happened-before
+// relation: "h.j /\ REQj hb REQk implies ts(e.j) < ts(e.k)". Lamport
+// timestamps are consistent with hb but cannot *decide* it, so the TME Spec
+// monitor tracks causality with vector clocks threaded through simulated
+// messages as monitor-only metadata. The mutual-exclusion programs never
+// read them — the substrate under test stays exactly the paper's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace graybox::clk {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  /// Clock for `pid` in a system of `n` processes, all components zero.
+  VectorClock(ProcessId pid, std::size_t n);
+
+  /// Advance the owner's component for a local event.
+  void tick();
+
+  /// Merge a received clock (componentwise max), then tick.
+  void witness(const VectorClock& other);
+
+  /// True iff this clock's event happened-before the other's (strictly:
+  /// componentwise <= and at least one strict <).
+  bool happened_before(const VectorClock& other) const;
+
+  /// Neither happened-before the other and they differ.
+  bool concurrent_with(const VectorClock& other) const;
+
+  std::size_t size() const { return components_.size(); }
+  std::uint64_t component(std::size_t i) const { return components_.at(i); }
+
+  std::string to_string() const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::uint64_t> components_;
+  ProcessId pid_ = 0;
+};
+
+}  // namespace graybox::clk

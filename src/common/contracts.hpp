@@ -1,0 +1,41 @@
+// Lightweight contract checks in the spirit of the Core Guidelines'
+// Expects()/Ensures() (I.5-I.8). Violations indicate a programming error in
+// this library, never a simulated fault, so they abort loudly rather than
+// throw: simulated faults are modeled explicitly by net::FaultInjector and
+// TmeProcess::corrupt_state, and must not be conflated with contract bugs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace graybox::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[graybox] %s violated: %s at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace graybox::detail
+
+#define GBX_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::graybox::detail::contract_failure("precondition", #cond, __FILE__, \
+                                          __LINE__);                       \
+  } while (false)
+
+#define GBX_ENSURES(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::graybox::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                          __LINE__);                        \
+  } while (false)
+
+#define GBX_ASSERT(cond)                                                 \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::graybox::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                          __LINE__);                     \
+  } while (false)

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Supports "--name=value", "--name value", and bare "--name" booleans; any
+// unrecognized argument aborts with a usage message so experiment scripts
+// fail fast on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace graybox {
+
+class Flags {
+ public:
+  /// Parse argv. `spec` maps flag name -> help text; flags not in the spec
+  /// are rejected. Call as: Flags flags(argc, argv, {{"seed", "RNG seed"}});
+  Flags(int argc, const char* const* argv,
+        std::map<std::string, std::string> spec);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  [[noreturn]] void usage_and_exit(const std::string& bad) const;
+
+  std::string program_;
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace graybox

@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace graybox {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  // splitmix64 guarantees the xoshiro state is not all-zero.
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  GBX_EXPECTS(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == max()) return next();
+  // Rejection sampling for an unbiased bounded draw.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + draw % bound;
+}
+
+double Rng::uniform01() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::exponential(double mean) {
+  GBX_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  const double u = 1.0 - uniform01();  // in (0, 1]
+  const double draw = -mean * std::log(u);
+  return static_cast<std::uint64_t>(std::llround(draw));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  GBX_EXPECTS(n > 0);
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+Rng Rng::split() {
+  Rng child(next());
+  return child;
+}
+
+}  // namespace graybox

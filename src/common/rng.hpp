@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic element of the reproduction (message delays, client
+// think/eat times, fault injection, adversarial state corruption, random
+// finite-system generation for the theorem property checks) draws from an
+// explicitly seeded Rng so that each experiment and test is exactly
+// replayable from its seed. We implement xoshiro256** with splitmix64
+// seeding instead of <random> engines so that results are bit-identical
+// across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace graybox {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Reinitialize the full 256-bit state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean, rounded to a
+  /// non-negative integer tick count (used for client think/eat durations
+  /// and message delays — the paper only requires "arbitrary but finite").
+  std::uint64_t exponential(double mean);
+
+  /// Pick a uniformly random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    GBX_EXPECTS(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// Derive an independent child generator (for giving each process or
+  /// channel its own stream while keeping a single experiment seed).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace graybox

@@ -1,0 +1,31 @@
+// Fundamental value types shared by every graybox-stabilization module.
+//
+// The paper's system model (Section 3.1) is an asynchronous message-passing
+// system of identified processes; we fix the vocabulary here so that every
+// layer (simulator, network, mutual-exclusion programs, monitors) speaks the
+// same strongly-typed language.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace graybox {
+
+/// Identifies a process in the distributed system. Processes are numbered
+/// densely from 0 to n-1; the identifier doubles as the tiebreaker of the
+/// timestamp total order `lt` (Section 3.2, Timestamp Spec).
+using ProcessId = std::uint32_t;
+
+/// Simulated time in abstract ticks. The discrete-event simulator advances
+/// this monotonically; message delays and wrapper timeouts are expressed in
+/// the same unit.
+using SimTime = std::uint64_t;
+
+/// Sentinel for "no process" (used e.g. by monitors reporting system-wide
+/// violations not attributable to a single process).
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Sentinel for "never" / "not yet" in SimTime-valued fields.
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+}  // namespace graybox

@@ -1,0 +1,44 @@
+#include "core/experiment.hpp"
+
+namespace graybox::core {
+
+ExperimentResult run_fault_experiment(const HarnessConfig& config,
+                                      const FaultScenario& scenario) {
+  SystemHarness harness(config);
+  harness.start();
+  harness.run_for(scenario.warmup);
+  if (scenario.scripted_fault) {
+    scenario.scripted_fault(harness);
+  } else if (scenario.burst > 0) {
+    harness.faults().burst(scenario.burst, scenario.mix);
+  }
+  harness.run_for(scenario.observation);
+  harness.drain(scenario.drain);
+  return ExperimentResult{harness.stabilization_report(), harness.stats()};
+}
+
+RepeatedResult repeat_fault_experiment(HarnessConfig config,
+                                       const FaultScenario& scenario,
+                                       std::size_t trials) {
+  RepeatedResult out;
+  out.trials = trials;
+  const std::uint64_t base_seed = config.seed;
+  for (std::size_t i = 0; i < trials; ++i) {
+    config.seed = base_seed + i;
+    const ExperimentResult result = run_fault_experiment(config, scenario);
+    if (result.report.stabilized) {
+      ++out.stabilized;
+      if (result.report.faults_injected)
+        out.latency.add(static_cast<double>(result.report.latency));
+    }
+    if (result.report.starvation) ++out.starved;
+    out.total_messages.add(static_cast<double>(result.stats.messages_sent));
+    out.wrapper_messages.add(
+        static_cast<double>(result.stats.wrapper_messages));
+    out.violations.add(static_cast<double>(result.report.violations_total));
+    out.cs_entries.add(static_cast<double>(result.stats.cs_entries));
+  }
+  return out;
+}
+
+}  // namespace graybox::core

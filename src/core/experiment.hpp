@@ -1,0 +1,64 @@
+// Reusable experiment shapes. Every bench binary and most integration
+// tests run one of two patterns:
+//
+//   * fault-recovery: warm up, inject a fault burst, observe, drain, and
+//     judge stabilization;
+//   * fault-free: run and drain with no faults (interference-freedom and
+//     throughput measurements).
+//
+// run_fault_experiment packages the first pattern; repeat_fault_experiment
+// aggregates it across seeds into latency/overhead statistics.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+#include "net/fault_injector.hpp"
+
+namespace graybox::core {
+
+struct FaultScenario {
+  /// Fault-free run-in so the system is mid-flight when faults hit.
+  SimTime warmup = 500;
+  /// Number of random faults injected at the end of warmup.
+  std::size_t burst = 10;
+  net::FaultMix mix = net::FaultMix::all();
+  /// Observation window after the burst (set it >> expected recovery).
+  SimTime observation = 4000;
+  /// Drain period before judging liveness.
+  SimTime drain = 3000;
+  /// Optional custom fault action run at the end of warmup *instead of*
+  /// the random burst (used by scripted scenarios like Section 4's
+  /// deadlock). Receives the harness.
+  std::function<void(SystemHarness&)> scripted_fault;
+};
+
+struct ExperimentResult {
+  StabilizationReport report;
+  RunStats stats;
+};
+
+/// Run one seeded fault-recovery experiment to completion.
+ExperimentResult run_fault_experiment(const HarnessConfig& config,
+                                      const FaultScenario& scenario);
+
+/// Run `trials` experiments over consecutive seeds; aggregates.
+struct RepeatedResult {
+  std::size_t trials = 0;
+  std::size_t stabilized = 0;
+  std::size_t starved = 0;
+  Accumulator latency;           ///< over stabilized trials with faults
+  Accumulator total_messages;
+  Accumulator wrapper_messages;
+  Accumulator violations;
+  Accumulator cs_entries;
+
+  bool all_stabilized() const { return stabilized == trials; }
+};
+RepeatedResult repeat_fault_experiment(HarnessConfig config,
+                                       const FaultScenario& scenario,
+                                       std::size_t trials);
+
+}  // namespace graybox::core

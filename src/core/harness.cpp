@@ -1,0 +1,216 @@
+#include "core/harness.hpp"
+
+#include "common/contracts.hpp"
+#include "core/stabilization.hpp"
+
+namespace graybox::core {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kRicartAgrawala:
+      return "ricart-agrawala";
+    case Algorithm::kLamport:
+      return "lamport";
+    case Algorithm::kFragile:
+      return "fragile-ra";
+  }
+  return "unknown";
+}
+
+SystemHarness::SystemHarness(HarnessConfig config)
+    : config_(config), master_rng_(config.seed) {
+  GBX_EXPECTS(config_.n >= 1);
+
+  net_ = std::make_unique<net::Network>(sched_, config_.n, config_.delay,
+                                        master_rng_.split());
+
+  // Processes + delivery plumbing.
+  std::vector<me::TmeProcess*> raw;
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    processes_.push_back(make_process(pid));
+    raw.push_back(processes_.back().get());
+    me::TmeProcess* proc = raw.back();
+    net_->set_handler(pid, [proc](const net::Message& msg) {
+      proc->on_message(msg);
+    });
+  }
+
+  // Clients (one per process, independent RNG streams).
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    clients_.push_back(std::make_unique<me::Client>(
+        sched_, *processes_[pid], config_.client, master_rng_.split()));
+  }
+
+  // Wrappers: the graybox W' of Section 4, attached per process.
+  if (config_.wrapped) {
+    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+      wrappers_.push_back(std::make_unique<wrapper::GrayboxWrapper>(
+          sched_, *net_, *processes_[pid], config_.wrapper));
+    }
+  }
+
+  // Fault injection, with process corruption routed to corrupt_state.
+  faults_ = std::make_unique<net::FaultInjector>(
+      sched_, *net_, master_rng_.split(),
+      [this](ProcessId pid, Rng& rng) {
+        processes_[pid]->corrupt_state(rng);
+      });
+
+  // Monitoring battery.
+  structural_ = std::make_unique<lspec::StructuralSpecMonitor>(raw, sched_);
+  send_mono_ = std::make_unique<lspec::SendMonotonicityMonitor>(*net_, sched_);
+  fifo_ = std::make_unique<lspec::FifoMonitor>(*net_, sched_);
+  if (config_.install_monitors) {
+    snapshots_ = std::make_unique<lspec::SnapshotSource>(raw, *net_);
+    tme_handles_ = lspec::install_tme_monitors(monitor_set_, config_.n);
+    if (config_.install_lspec_monitors) {
+      lspec_handles_ =
+          lspec::install_lspec_clause_monitors(monitor_set_, config_.n);
+    }
+    sched_.add_observer([this](SimTime t) {
+      monitor_set_.observe(t, snapshots_->capture(t));
+    });
+  }
+
+  // Optional rolling event trace for debugging and the example binaries.
+  if (config_.trace_capacity > 0) {
+    trace_ = sim::Trace(config_.trace_capacity);
+    net_->add_send_observer([this](const net::Message& msg) {
+      trace_.record(sched_.now(), "send " + msg.to_string());
+    });
+    net_->add_delivery_observer([this](const net::Message& msg) {
+      trace_.record(sched_.now(), "recv " + msg.to_string());
+    });
+    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+      me::TmeProcess* proc = processes_[pid].get();
+      proc->add_state_observer(
+          [this, pid](me::TmeState from, me::TmeState to) {
+            trace_.record(sched_.now(),
+                          "proc " + std::to_string(pid) + ": " +
+                              std::string(me::to_string(from)) + " -> " +
+                              me::to_string(to));
+          });
+    }
+  }
+}
+
+SystemHarness::~SystemHarness() = default;
+
+std::unique_ptr<me::TmeProcess> SystemHarness::make_process(ProcessId pid) {
+  Algorithm algo = config_.algorithm;
+  if (!config_.per_process_algorithms.empty()) {
+    GBX_EXPECTS(config_.per_process_algorithms.size() == config_.n);
+    algo = config_.per_process_algorithms[pid];
+  }
+  switch (algo) {
+    case Algorithm::kRicartAgrawala:
+      return std::make_unique<me::RicartAgrawala>(pid, *net_,
+                                                  config_.ra_options);
+    case Algorithm::kLamport:
+      return std::make_unique<me::LamportMe>(pid, *net_,
+                                             config_.lamport_options);
+    case Algorithm::kFragile:
+      return std::make_unique<me::FragileMe>(pid, *net_);
+  }
+  GBX_ASSERT(false && "unknown algorithm");
+  return nullptr;
+}
+
+me::TmeProcess& SystemHarness::process(ProcessId pid) {
+  GBX_EXPECTS(pid < processes_.size());
+  return *processes_[pid];
+}
+
+me::Client& SystemHarness::client(ProcessId pid) {
+  GBX_EXPECTS(pid < clients_.size());
+  return *clients_[pid];
+}
+
+wrapper::GrayboxWrapper* SystemHarness::wrapper(ProcessId pid) {
+  if (!config_.wrapped) return nullptr;
+  GBX_EXPECTS(pid < wrappers_.size());
+  return wrappers_[pid].get();
+}
+
+void SystemHarness::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& client : clients_) client->start();
+  for (auto& w : wrappers_) w->start();
+}
+
+void SystemHarness::drain(SimTime period) {
+  for (auto& client : clients_) client->stop_requesting();
+  sched_.run_for(period);
+  monitor_set_.finish(sched_.now());
+  drained_ = true;
+}
+
+bool SystemHarness::quiescent() const {
+  if (net_->in_flight() != 0) return false;
+  for (const auto& p : processes_) {
+    if (!p->thinking()) return false;
+  }
+  return true;
+}
+
+StabilizationReport SystemHarness::stabilization_report() const {
+  GBX_EXPECTS(config_.install_monitors);
+  StabilizationReport report;
+  report.last_fault = faults_->last_fault_time();
+  report.faults_injected = report.last_fault != kNever;
+
+  // Safety monitors: ME1, ME3, Invariant I. (ME2's records are liveness
+  // verdicts handled through starvation below.)
+  const lspec::TmeMonitors& tm = tme_handles_;
+  SimTime last = kNever;
+  std::uint64_t total = 0;
+  for (const lspec::TmeMonitor* m :
+       {static_cast<const lspec::TmeMonitor*>(tm.me1),
+        static_cast<const lspec::TmeMonitor*>(tm.me3),
+        static_cast<const lspec::TmeMonitor*>(tm.invariant_i)}) {
+    if (m == nullptr) continue;
+    total += m->total_violations();
+    const SimTime t = m->last_violation();
+    if (t == kNever) continue;
+    if (last == kNever || t > last) last = t;
+  }
+  report.last_safety_violation = last;
+  report.violations_total = total;
+  report.starvation = tm.me2 != nullptr && tm.me2->starvation_at_end();
+  report.stabilized = !report.starvation;
+
+  if (last != kNever && report.faults_injected && last > report.last_fault) {
+    report.latency = last - report.last_fault;
+  } else {
+    report.latency = 0;
+  }
+  return report;
+}
+
+RunStats SystemHarness::stats() const {
+  RunStats stats;
+  stats.duration = sched_.now();
+  stats.events_executed = sched_.executed();
+  for (const auto& p : processes_) stats.cs_entries += p->cs_entries();
+  for (const auto& c : clients_) stats.requests_issued += c->requests_issued();
+  stats.messages_sent = net_->total_sent();
+  stats.wrapper_messages = net_->sent_by_wrapper();
+  stats.sent_request = net_->sent_of_type(net::MsgType::kRequest);
+  stats.sent_reply = net_->sent_of_type(net::MsgType::kReply);
+  stats.sent_release = net_->sent_of_type(net::MsgType::kRelease);
+  stats.faults_injected = faults_->total_injected();
+  const lspec::TmeMonitors& tm = tme_handles_;
+  if (tm.me1 != nullptr) stats.me1_violations = tm.me1->total_violations();
+  if (tm.me3 != nullptr) stats.me3_violations = tm.me3->total_violations();
+  if (tm.invariant_i != nullptr)
+    stats.invariant_violations = tm.invariant_i->total_violations();
+  if (tm.me2 != nullptr) {
+    stats.me2_served = tm.me2->served();
+    stats.me2_max_wait = tm.me2->max_wait();
+  }
+  stats.lspec_clause_violations = lspec_handles_.total_violations();
+  return stats;
+}
+
+}  // namespace graybox::core

@@ -1,0 +1,175 @@
+// SystemHarness: one fully wired TME system under simulation.
+//
+// Assembles the paper's case study end to end: a scheduler, a network of
+// FIFO channels, n mutual-exclusion processes of a chosen implementation,
+// one polling client per process, optionally one graybox wrapper per
+// process (W' of Section 4), the fault injector, and the full monitoring
+// battery (TME Spec monitors on per-event global snapshots plus the
+// program-transition monitors).
+//
+// Typical experiment shape (see also core/experiment.hpp):
+//
+//   SystemHarness h(config);
+//   h.start();
+//   h.run_for(warmup);
+//   h.faults().burst(k, net::FaultMix::all());
+//   h.run_for(observation);
+//   h.drain(drain_period);                  // stop new requests, settle
+//   auto report = h.stabilization_report(); // judged over the whole run
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lspec/lspec_clause_monitors.hpp"
+#include "lspec/program_monitors.hpp"
+#include "lspec/snapshot.hpp"
+#include "lspec/tme_monitors.hpp"
+#include "sim/trace.hpp"
+#include "me/client.hpp"
+#include "me/fragile.hpp"
+#include "me/lamport.hpp"
+#include "me/ricart_agrawala.hpp"
+#include "net/fault_injector.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "wrapper/graybox_wrapper.hpp"
+
+namespace graybox::core {
+
+enum class Algorithm { kRicartAgrawala, kLamport, kFragile };
+
+const char* to_string(Algorithm a);
+
+struct HarnessConfig {
+  std::size_t n = 5;
+  Algorithm algorithm = Algorithm::kRicartAgrawala;
+
+  /// Heterogeneous systems: when non-empty (size n), overrides `algorithm`
+  /// per process. Lspec is a LOCAL everywhere specification (Section 2.1),
+  /// so the theory — and the wrapper — apply to mixed implementations;
+  /// tests/test_heterogeneous.cpp probes exactly that.
+  std::vector<Algorithm> per_process_algorithms{};
+
+  /// Attach one GrayboxWrapper per process (the wrapped system M [] W').
+  bool wrapped = true;
+  wrapper::WrapperConfig wrapper{.resend_period = 25};
+
+  net::DelayModel delay = net::DelayModel::uniform(1, 5);
+  me::ClientConfig client{};
+
+  me::RicartAgrawalaOptions ra_options{};
+  me::LamportOptions lamport_options{};
+
+  /// Master seed; every stochastic component gets an independent stream.
+  std::uint64_t seed = 1;
+
+  /// Install the snapshot-based TME monitors (disable for pure-throughput
+  /// microbenchmarks where monitoring cost would dominate).
+  bool install_monitors = true;
+
+  /// Also install the per-clause Lspec monitors (Flow/CS/Request/Release/
+  /// Entry Specs). Requires install_monitors.
+  bool install_lspec_monitors = true;
+
+  /// Keep a rolling human-readable event trace of this many records
+  /// (sends, deliveries, state transitions, faults). 0 disables tracing.
+  std::size_t trace_capacity = 0;
+};
+
+struct RunStats {
+  SimTime duration = 0;
+  std::uint64_t cs_entries = 0;
+  std::uint64_t requests_issued = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t wrapper_messages = 0;
+  std::uint64_t sent_request = 0;
+  std::uint64_t sent_reply = 0;
+  std::uint64_t sent_release = 0;
+  std::uint64_t me1_violations = 0;
+  std::uint64_t me3_violations = 0;
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t me2_served = 0;
+  SimTime me2_max_wait = 0;
+  std::uint64_t lspec_clause_violations = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t events_executed = 0;
+};
+
+/// Verdict on a completed (drained) run; see stabilization.hpp.
+struct StabilizationReport;
+
+class SystemHarness {
+ public:
+  explicit SystemHarness(HarnessConfig config);
+  ~SystemHarness();
+
+  SystemHarness(const SystemHarness&) = delete;
+  SystemHarness& operator=(const SystemHarness&) = delete;
+
+  const HarnessConfig& config() const { return config_; }
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return *net_; }
+  net::FaultInjector& faults() { return *faults_; }
+
+  me::TmeProcess& process(ProcessId pid);
+  me::Client& client(ProcessId pid);
+  /// Null when running bare (config.wrapped == false).
+  wrapper::GrayboxWrapper* wrapper(ProcessId pid);
+
+  lspec::TmeMonitorSet& monitors() { return monitor_set_; }
+  const lspec::TmeMonitors& tme_monitors() const { return tme_handles_; }
+  const lspec::LspecClauseMonitors& lspec_monitors() const {
+    return lspec_handles_;
+  }
+  lspec::StructuralSpecMonitor& structural_monitor() { return *structural_; }
+  lspec::SendMonotonicityMonitor& send_monitor() { return *send_mono_; }
+  lspec::FifoMonitor& fifo_monitor() { return *fifo_; }
+
+  /// Rolling event trace; empty unless config.trace_capacity > 0.
+  const sim::Trace& trace() const { return trace_; }
+
+  /// Arm clients and wrappers.
+  void start();
+
+  void run_for(SimTime duration) { sched_.run_for(duration); }
+
+  /// Drain: stop admitting new CS requests, let outstanding requests and
+  /// channel traffic settle for `period`, then close the monitors. After
+  /// drain() the liveness verdicts (starvation) are meaningful.
+  void drain(SimTime period);
+
+  bool drained() const { return drained_; }
+
+  StabilizationReport stabilization_report() const;
+  RunStats stats() const;
+
+  /// True when every process is thinking and no message is in flight.
+  bool quiescent() const;
+
+ private:
+  std::unique_ptr<me::TmeProcess> make_process(ProcessId pid);
+
+  HarnessConfig config_;
+  Rng master_rng_;
+  sim::Scheduler sched_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<me::TmeProcess>> processes_;
+  std::vector<std::unique_ptr<me::Client>> clients_;
+  std::vector<std::unique_ptr<wrapper::GrayboxWrapper>> wrappers_;
+  std::unique_ptr<net::FaultInjector> faults_;
+  std::unique_ptr<lspec::SnapshotSource> snapshots_;
+  lspec::TmeMonitorSet monitor_set_;
+  lspec::TmeMonitors tme_handles_;
+  lspec::LspecClauseMonitors lspec_handles_;
+  sim::Trace trace_{0};
+  std::unique_ptr<lspec::StructuralSpecMonitor> structural_;
+  std::unique_ptr<lspec::SendMonotonicityMonitor> send_mono_;
+  std::unique_ptr<lspec::FifoMonitor> fifo_;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace graybox::core

@@ -1,0 +1,24 @@
+#include "core/stabilization.hpp"
+
+namespace graybox::core {
+
+std::string StabilizationReport::to_string() const {
+  std::string out;
+  out += stabilized ? "stabilized" : "NOT STABILIZED";
+  if (faults_injected) {
+    out += ", last fault @" + std::to_string(last_fault);
+  } else {
+    out += ", no faults";
+  }
+  if (last_safety_violation != kNever) {
+    out += ", last violation @" + std::to_string(last_safety_violation);
+  } else {
+    out += ", no violations";
+  }
+  if (starvation) out += ", STARVATION at end";
+  out += ", latency " + std::to_string(latency);
+  out += ", total violations " + std::to_string(violations_total);
+  return out;
+}
+
+}  // namespace graybox::core

@@ -1,0 +1,196 @@
+#include "lspec/lspec_clause_monitors.hpp"
+
+#include "spec/unity.hpp"
+
+namespace graybox::lspec {
+namespace {
+
+using me::TmeState;
+
+bool legal_flow(TmeState from, TmeState to) {
+  if (from == to) return true;
+  using S = TmeState;
+  // t -> e is also accepted: snapshots are per *event*, and a request whose
+  // entry guard already holds (single-process system, or after the last
+  // needed reply) performs t -> h -> e within one event.
+  return (from == S::kThinking && to == S::kHungry) ||
+         (from == S::kHungry && to == S::kEating) ||
+         (from == S::kEating && to == S::kThinking) ||
+         (from == S::kThinking && to == S::kEating);
+}
+
+/// Flow Spec over snapshots: each process moves only along t -> h -> e -> t
+/// (or stays put) between consecutive global states.
+class FlowSpecSnapshotMonitor : public TmeMonitor {
+ public:
+  FlowSpecSnapshotMonitor() : TmeMonitor("Lspec/FlowSpec") {}
+
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override {
+    for (std::size_t j = 0; j < cur.procs.size(); ++j) {
+      if (!legal_flow(prev.procs[j].state, cur.procs[j].state)) {
+        report(t, "process " + std::to_string(j) + " jumped " +
+                      std::string(me::to_string(prev.procs[j].state)) +
+                      " -> " +
+                      std::string(me::to_string(cur.procs[j].state)));
+      }
+    }
+  }
+};
+
+/// CS Spec: e.j |-> ~e.j — per-process obligations, reported at their open
+/// time if still outstanding when observation ends.
+class CsTransientMonitor : public TmeMonitor {
+ public:
+  explicit CsTransientMonitor(std::size_t n)
+      : TmeMonitor("Lspec/CsSpec"), eating_since_(n, kNever) {}
+
+  void begin(SimTime t, const GlobalSnapshot& s0) override { scan(t, s0); }
+  void step(SimTime t, const GlobalSnapshot&,
+            const GlobalSnapshot& cur) override {
+    scan(t, cur);
+  }
+  void finish(SimTime, const GlobalSnapshot&) override {
+    for (std::size_t j = 0; j < eating_since_.size(); ++j) {
+      if (eating_since_[j] == kNever) continue;
+      report(eating_since_[j], "process " + std::to_string(j) +
+                                   " still eating at end of run (CS Spec: "
+                                   "eating must be transient)");
+    }
+  }
+
+ private:
+  void scan(SimTime t, const GlobalSnapshot& s) {
+    for (std::size_t j = 0; j < s.procs.size(); ++j) {
+      if (s.procs[j].eating()) {
+        if (eating_since_[j] == kNever) eating_since_[j] = t;
+      } else {
+        eating_since_[j] = kNever;
+      }
+    }
+  }
+  std::vector<SimTime> eating_since_;
+};
+
+/// Request Spec's safety half: h.j => REQj = REQ'j — a request's timestamp
+/// never changes while the request is outstanding.
+class RequestFrozenMonitor : public TmeMonitor {
+ public:
+  RequestFrozenMonitor() : TmeMonitor("Lspec/RequestSpec") {}
+
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override {
+    for (std::size_t j = 0; j < cur.procs.size(); ++j) {
+      if (prev.procs[j].hungry() && cur.procs[j].hungry() &&
+          !(prev.procs[j].req == cur.procs[j].req)) {
+        report(t, "process " + std::to_string(j) + " REQ moved " +
+                      prev.procs[j].req.to_string() + " -> " +
+                      cur.procs[j].req.to_string() + " while hungry");
+      }
+    }
+  }
+};
+
+/// CS Release Spec: t.j => REQj = ts.j (REQ glued to the clock of the most
+/// recent event while thinking).
+class ReleaseTracksClockMonitor : public TmeMonitor {
+ public:
+  ReleaseTracksClockMonitor() : TmeMonitor("Lspec/CsReleaseSpec") {}
+
+  void begin(SimTime t, const GlobalSnapshot& s0) override { check(t, s0); }
+  void step(SimTime t, const GlobalSnapshot&,
+            const GlobalSnapshot& cur) override {
+    check(t, cur);
+  }
+
+ private:
+  void check(SimTime t, const GlobalSnapshot& s) {
+    for (std::size_t j = 0; j < s.procs.size(); ++j) {
+      if (s.procs[j].thinking() &&
+          !(s.procs[j].req == s.procs[j].clock_now)) {
+        report(t, "process " + std::to_string(j) + " thinking with REQ " +
+                      s.procs[j].req.to_string() + " != ts " +
+                      s.procs[j].clock_now.to_string());
+      }
+    }
+  }
+};
+
+/// CS Entry Spec's progress half: when a process knows all peers' requests
+/// are later, entry eventually follows (or the knowledge is revised).
+class EntryTakenMonitor : public TmeMonitor {
+ public:
+  explicit EntryTakenMonitor(std::size_t n)
+      : TmeMonitor("Lspec/CsEntrySpec"), enabled_since_(n, kNever) {}
+
+  void begin(SimTime t, const GlobalSnapshot& s0) override { scan(t, s0); }
+  void step(SimTime t, const GlobalSnapshot&,
+            const GlobalSnapshot& cur) override {
+    scan(t, cur);
+  }
+  void finish(SimTime, const GlobalSnapshot&) override {
+    for (std::size_t j = 0; j < enabled_since_.size(); ++j) {
+      if (enabled_since_[j] == kNever) continue;
+      report(enabled_since_[j],
+             "process " + std::to_string(j) +
+                 " had CS entry enabled but never entered (CS Entry Spec)");
+    }
+  }
+
+ private:
+  static bool entry_enabled(const ProcessSnapshot& p, std::size_t self) {
+    if (!p.hungry()) return false;
+    for (std::size_t k = 0; k < p.knows_earlier.size(); ++k) {
+      if (k != self && !p.knows_earlier[k]) return false;
+    }
+    return true;
+  }
+  void scan(SimTime t, const GlobalSnapshot& s) {
+    for (std::size_t j = 0; j < s.procs.size(); ++j) {
+      if (entry_enabled(s.procs[j], j)) {
+        if (enabled_since_[j] == kNever) enabled_since_[j] = t;
+      } else {
+        enabled_since_[j] = kNever;
+      }
+    }
+  }
+  std::vector<SimTime> enabled_since_;
+};
+
+}  // namespace
+
+std::uint64_t LspecClauseMonitors::total_violations() const {
+  std::uint64_t total = 0;
+  for (const auto* m :
+       {flow, cs_transient, request_frozen, release_tracks_clock,
+        entry_taken}) {
+    if (m != nullptr) total += m->total_violations();
+  }
+  return total;
+}
+
+SimTime LspecClauseMonitors::last_violation() const {
+  SimTime last = kNever;
+  for (const auto* m :
+       {flow, cs_transient, request_frozen, release_tracks_clock,
+        entry_taken}) {
+    if (m == nullptr) continue;
+    const SimTime t = m->last_violation();
+    if (t == kNever) continue;
+    if (last == kNever || t > last) last = t;
+  }
+  return last;
+}
+
+LspecClauseMonitors install_lspec_clause_monitors(TmeMonitorSet& set,
+                                                  std::size_t n) {
+  LspecClauseMonitors handles;
+  handles.flow = &set.add<FlowSpecSnapshotMonitor>();
+  handles.cs_transient = &set.add<CsTransientMonitor>(n);
+  handles.request_frozen = &set.add<RequestFrozenMonitor>();
+  handles.release_tracks_clock = &set.add<ReleaseTracksClockMonitor>();
+  handles.entry_taken = &set.add<EntryTakenMonitor>(n);
+  return handles;
+}
+
+}  // namespace graybox::lspec

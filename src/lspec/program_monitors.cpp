@@ -1,0 +1,84 @@
+#include "lspec/program_monitors.hpp"
+
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace graybox::lspec {
+namespace {
+
+bool legal_transition(me::TmeState from, me::TmeState to) {
+  using S = me::TmeState;
+  return (from == S::kThinking && to == S::kHungry) ||
+         (from == S::kHungry && to == S::kEating) ||
+         (from == S::kEating && to == S::kThinking);
+}
+
+}  // namespace
+
+StructuralSpecMonitor::StructuralSpecMonitor(
+    const std::vector<me::TmeProcess*>& procs, sim::Scheduler& sched)
+    : sched_(sched) {
+  for (auto* p : procs) {
+    GBX_EXPECTS(p != nullptr);
+    const ProcessId pid = p->pid();
+    p->add_state_observer([this, pid](me::TmeState from, me::TmeState to) {
+      on_transition(pid, from, to);
+    });
+  }
+}
+
+void StructuralSpecMonitor::on_transition(ProcessId pid, me::TmeState from,
+                                          me::TmeState to) {
+  ++transitions_checked_;
+  if (!legal_transition(from, to)) {
+    violations_.push_back(spec::Violation{
+        sched_.now(), "StructuralSpec",
+        "process " + std::to_string(pid) + " took illegal transition " +
+            std::string(me::to_string(from)) + " -> " +
+            std::string(me::to_string(to))});
+  }
+}
+
+SendMonotonicityMonitor::SendMonotonicityMonitor(net::Network& net,
+                                                 sim::Scheduler& sched)
+    : sched_(sched), last_sent_(net.size()), seen_(net.size(), 0) {
+  net.add_send_observer([this](const net::Message& msg) { on_send(msg); });
+}
+
+void SendMonotonicityMonitor::on_send(const net::Message& msg) {
+  if (msg.from >= last_sent_.size()) return;
+  ++sends_checked_;
+  if (seen_[msg.from] && clk::lt(msg.ts, last_sent_[msg.from])) {
+    violations_.push_back(spec::Violation{
+        sched_.now(), "TimestampSpec",
+        "process " + std::to_string(msg.from) + " sent " +
+            msg.ts.to_string() + " after having sent " +
+            last_sent_[msg.from].to_string()});
+  }
+  last_sent_[msg.from] = msg.ts;
+  seen_[msg.from] = 1;
+}
+
+FifoMonitor::FifoMonitor(net::Network& net, sim::Scheduler& sched)
+    : sched_(sched), n_(net.size()), last_uid_(net.size() * net.size(), 0) {
+  net.add_delivery_observer(
+      [this](const net::Message& msg) { on_delivery(msg); });
+}
+
+void FifoMonitor::on_delivery(const net::Message& msg) {
+  if (msg.uid == 0) return;  // fabricated by fault injection
+  if (msg.from >= n_ || msg.to >= n_) return;
+  ++deliveries_checked_;
+  const std::size_t pair = static_cast<std::size_t>(msg.from) * n_ + msg.to;
+  if (msg.uid <= last_uid_[pair] && last_uid_[pair] != 0) {
+    violations_.push_back(spec::Violation{
+        sched_.now(), "CommunicationSpec",
+        "channel " + std::to_string(msg.from) + "->" + std::to_string(msg.to) +
+            " delivered uid " + std::to_string(msg.uid) + " after uid " +
+            std::to_string(last_uid_[pair])});
+  }
+  if (msg.uid > last_uid_[pair]) last_uid_[pair] = msg.uid;
+}
+
+}  // namespace graybox::lspec

@@ -1,0 +1,51 @@
+#include "lspec/snapshot.hpp"
+
+#include "common/contracts.hpp"
+
+namespace graybox::lspec {
+
+std::size_t GlobalSnapshot::eating_count() const {
+  std::size_t count = 0;
+  for (const auto& p : procs)
+    if (p.eating()) ++count;
+  return count;
+}
+
+std::size_t GlobalSnapshot::hungry_count() const {
+  std::size_t count = 0;
+  for (const auto& p : procs)
+    if (p.hungry()) ++count;
+  return count;
+}
+
+SnapshotSource::SnapshotSource(std::vector<me::TmeProcess*> processes,
+                               const net::Network& net)
+    : processes_(std::move(processes)), net_(net) {
+  GBX_EXPECTS(!processes_.empty());
+  GBX_EXPECTS(processes_.size() == net_.size());
+  for (const auto* p : processes_) GBX_EXPECTS(p != nullptr);
+}
+
+GlobalSnapshot SnapshotSource::capture(SimTime t) const {
+  GlobalSnapshot snap;
+  snap.time = t;
+  snap.in_flight = net_.in_flight();
+  snap.procs.resize(processes_.size());
+  for (std::size_t j = 0; j < processes_.size(); ++j) {
+    const me::TmeProcess& p = *processes_[j];
+    ProcessSnapshot& ps = snap.procs[j];
+    ps.state = p.state();
+    ps.req = p.req();
+    ps.clock_now = p.clock().now();
+    ps.vc = net_.vclock(static_cast<ProcessId>(j));
+    ps.knows_earlier.assign(processes_.size(), 0);
+    for (std::size_t k = 0; k < processes_.size(); ++k) {
+      if (k == j) continue;
+      ps.knows_earlier[k] =
+          p.knows_earlier(static_cast<ProcessId>(k)) ? 1 : 0;
+    }
+  }
+  return snap;
+}
+
+}  // namespace graybox::lspec

@@ -1,0 +1,62 @@
+// Global state snapshots: the monitoring substrate.
+//
+// Monitors judge UNITY properties over the sequence of global states, one
+// per executed simulator event. A snapshot records, for every process, the
+// Lspec observables (state, REQ, the knows_earlier relation) plus the
+// monitor-side vector clock, and for the network the in-flight message
+// count. Snapshots capture the *graybox* view — they contain nothing a
+// wrapper could not also see — so a specification clause checkable on
+// snapshots is by construction checkable without implementation knowledge.
+#pragma once
+
+#include <vector>
+
+#include "clock/timestamp.hpp"
+#include "clock/vector_clock.hpp"
+#include "me/tme_process.hpp"
+#include "net/network.hpp"
+
+namespace graybox::lspec {
+
+struct ProcessSnapshot {
+  me::TmeState state = me::TmeState::kThinking;
+  clk::Timestamp req{};
+  /// ts.j: the logical-clock value after the process's most recent event
+  /// (CS Release Spec glues REQ to it while thinking).
+  clk::Timestamp clock_now{};
+  /// knows_earlier[k] = "REQj lt j.REQk" as this process reads it; own
+  /// index is false.
+  std::vector<char> knows_earlier;
+  /// Monitor-side causal clock (after the process's latest event).
+  clk::VectorClock vc;
+
+  bool thinking() const { return state == me::TmeState::kThinking; }
+  bool hungry() const { return state == me::TmeState::kHungry; }
+  bool eating() const { return state == me::TmeState::kEating; }
+};
+
+struct GlobalSnapshot {
+  SimTime time = 0;
+  std::vector<ProcessSnapshot> procs;
+  std::size_t in_flight = 0;
+
+  std::size_t eating_count() const;
+  std::size_t hungry_count() const;
+};
+
+/// Captures GlobalSnapshots from live processes and the network.
+class SnapshotSource {
+ public:
+  SnapshotSource(std::vector<me::TmeProcess*> processes,
+                 const net::Network& net);
+
+  GlobalSnapshot capture(SimTime t) const;
+
+  std::size_t size() const { return processes_.size(); }
+
+ private:
+  std::vector<me::TmeProcess*> processes_;
+  const net::Network& net_;
+};
+
+}  // namespace graybox::lspec

@@ -1,0 +1,193 @@
+#include "lspec/tme_monitors.hpp"
+
+#include <string>
+
+namespace graybox::lspec {
+namespace {
+
+std::string pid_list(const GlobalSnapshot& s, me::TmeState state) {
+  std::string out;
+  for (std::size_t j = 0; j < s.procs.size(); ++j) {
+    if (s.procs[j].state != state) continue;
+    if (!out.empty()) out += ",";
+    out += std::to_string(j);
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- ME1 -------------------------------------------------------------------
+
+Me1Monitor::Me1Monitor() : TmeMonitor("ME1") {}
+
+void Me1Monitor::begin(SimTime t, const GlobalSnapshot& s0) { check(t, s0); }
+
+void Me1Monitor::step(SimTime t, const GlobalSnapshot&,
+                      const GlobalSnapshot& cur) {
+  check(t, cur);
+}
+
+void Me1Monitor::check(SimTime t, const GlobalSnapshot& s) {
+  const bool bad = s.eating_count() > 1;
+  if (bad) {
+    if (!in_violation_) ++episodes_;
+    report(t, "processes {" + pid_list(s, me::TmeState::kEating) +
+                  "} eating simultaneously");
+  }
+  in_violation_ = bad;
+}
+
+// --- ME2 -------------------------------------------------------------------
+
+Me2Monitor::Me2Monitor(std::size_t n)
+    : TmeMonitor("ME2"), hungry_since_(n, kNever) {}
+
+void Me2Monitor::begin(SimTime t, const GlobalSnapshot& s0) { scan(t, s0); }
+
+void Me2Monitor::step(SimTime t, const GlobalSnapshot&,
+                      const GlobalSnapshot& cur) {
+  scan(t, cur);
+}
+
+void Me2Monitor::scan(SimTime t, const GlobalSnapshot& s) {
+  for (std::size_t j = 0; j < s.procs.size(); ++j) {
+    const bool hungry = s.procs[j].hungry();
+    if (hungry) {
+      if (hungry_since_[j] == kNever) hungry_since_[j] = t;
+      continue;
+    }
+    if (hungry_since_[j] != kNever) {
+      // Leaving hungry by a program transition means entering the CS
+      // (h -> e); a fault jump elsewhere simply cancels the episode.
+      if (s.procs[j].eating()) {
+        ++served_;
+        const SimTime wait = t - hungry_since_[j];
+        if (wait > max_wait_) max_wait_ = wait;
+      }
+      hungry_since_[j] = kNever;
+    }
+  }
+}
+
+void Me2Monitor::finish(SimTime, const GlobalSnapshot&) {
+  for (std::size_t j = 0; j < hungry_since_.size(); ++j) {
+    if (hungry_since_[j] == kNever) continue;
+    starvation_at_end_ = true;
+    report(hungry_since_[j],
+           "process " + std::to_string(j) +
+               " hungry at end of drained run (starvation/deadlock)");
+  }
+}
+
+// --- ME3 -------------------------------------------------------------------
+
+Me3Monitor::Me3Monitor(std::size_t n) : TmeMonitor("ME3"), open_(n) {}
+
+void Me3Monitor::begin(SimTime t, const GlobalSnapshot& s0) {
+  // Processes already hungry in the very first state are open requests
+  // whose causal position is the current clock.
+  for (std::size_t j = 0; j < s0.procs.size(); ++j) {
+    if (s0.procs[j].hungry()) on_request(j, t, s0);
+  }
+}
+
+void Me3Monitor::step(SimTime t, const GlobalSnapshot& prev,
+                      const GlobalSnapshot& cur) {
+  for (std::size_t j = 0; j < cur.procs.size(); ++j) {
+    const me::TmeState before = prev.procs[j].state;
+    const me::TmeState after = cur.procs[j].state;
+    if (before == after) continue;
+    if (after == me::TmeState::kHungry) on_request(j, t, cur);
+    if (after == me::TmeState::kEating) on_entry(j, t, cur);
+    if (after == me::TmeState::kThinking) open_[j].open = false;
+  }
+}
+
+void Me3Monitor::on_request(std::size_t j, SimTime t,
+                            const GlobalSnapshot& cur) {
+  open_[j].open = true;
+  open_[j].at = t;
+  open_[j].vc = cur.procs[j].vc;
+}
+
+void Me3Monitor::on_entry(std::size_t j, SimTime t,
+                          const GlobalSnapshot& cur) {
+  ++entries_checked_;
+  if (open_[j].open) {
+    // FCFS: no peer with a request that happened-before ours may still be
+    // waiting when we enter.
+    for (std::size_t k = 0; k < open_.size(); ++k) {
+      if (k == j || !open_[k].open) continue;
+      if (!cur.procs[k].hungry()) continue;
+      if (open_[k].vc.size() == open_[j].vc.size() &&
+          open_[k].vc.happened_before(open_[j].vc)) {
+        report(t, "process " + std::to_string(j) + " overtook process " +
+                      std::to_string(k) +
+                      " whose request happened-before");
+      }
+    }
+  } else {
+    // Entry without a recorded request: a fault jump straight into the CS.
+    // It overtakes every open request (there is no order to respect).
+    for (std::size_t k = 0; k < open_.size(); ++k) {
+      if (k == j || !open_[k].open) continue;
+      if (!cur.procs[k].hungry()) continue;
+      report(t, "process " + std::to_string(j) +
+                    " entered the CS without a request while process " +
+                    std::to_string(k) + " was waiting");
+      break;  // one report per spurious entry suffices
+    }
+  }
+  open_[j].open = false;
+}
+
+// --- Invariant I -------------------------------------------------------------
+
+InvariantIMonitor::InvariantIMonitor() : TmeMonitor("InvariantI") {}
+
+void InvariantIMonitor::begin(SimTime t, const GlobalSnapshot& s0) {
+  check(t, s0);
+}
+
+void InvariantIMonitor::step(SimTime t, const GlobalSnapshot&,
+                             const GlobalSnapshot& cur) {
+  check(t, cur);
+}
+
+void InvariantIMonitor::check(SimTime t, const GlobalSnapshot& s) {
+  bool bad = false;
+  for (std::size_t j = 0; j < s.procs.size() && !bad; ++j) {
+    // The belief only matters while competing: Lspec reads the views in
+    // CS Entry Spec's guard, which is conjoined with h.j.
+    if (!s.procs[j].hungry()) continue;
+    for (std::size_t k = 0; k < s.procs.size(); ++k) {
+      if (k == j || !s.procs[j].knows_earlier[k]) continue;
+      if (!clk::lt(s.procs[j].req, s.procs[k].req)) {
+        bad = true;
+        // Report every bad state (the base class caps retention but keeps
+        // exact first/last times), so the stabilization detector sees when
+        // the violation *ended*, not just when it began.
+        report(t, "process " + std::to_string(j) + " believes " +
+                      s.procs[j].req.to_string() + " lt REQ(" +
+                      std::to_string(k) + ")=" + s.procs[k].req.to_string() +
+                      ", which is false");
+        break;
+      }
+    }
+  }
+  in_violation_ = bad;
+}
+
+// --- Battery -----------------------------------------------------------------
+
+TmeMonitors install_tme_monitors(TmeMonitorSet& set, std::size_t n) {
+  TmeMonitors handles;
+  handles.me1 = &set.add<Me1Monitor>();
+  handles.me2 = &set.add<Me2Monitor>(n);
+  handles.me3 = &set.add<Me3Monitor>(n);
+  handles.invariant_i = &set.add<InvariantIMonitor>();
+  return handles;
+}
+
+}  // namespace graybox::lspec

@@ -1,0 +1,122 @@
+// Monitors for TME Spec (Section 3.1) and for the invariant the paper's
+// Theorem A.1 derives from Lspec. These are the monitors whose violations
+// are *expected* to occur transiently under faults and to cease after
+// stabilization; the stabilization detector (src/core) measures the gap
+// between the last injected fault and their last violation.
+//
+//   ME1 (Mutual Exclusion)      - at most one process eats at a time;
+//   ME2 (Starvation Freedom)    - h.j |-> e.j, monitored as: a process
+//                                 observed hungry eventually stops being
+//                                 hungry, and in a drained run nobody is
+//                                 left hungry at the end. (Program
+//                                 transitions leave hungry only by eating,
+//                                 so for program behaviour this coincides
+//                                 with ME2; fault jumps h -> t are not
+//                                 counted as service.)
+//   ME3 (First-Come First-Serve)- if j's request happened-before k's
+//                                 request, j enters the CS first. Decided
+//                                 exactly with monitor-side vector clocks.
+//   Invariant I (Theorem A.1)   - the safety-relevant projection of
+//                                 "j.REQk = REQk \/ j.REQk lt REQk":
+//                                 whenever a process *believes* its request
+//                                 is earlier than k's (knows_earlier), the
+//                                 requests' true timestamps agree.
+#pragma once
+
+#include "lspec/snapshot.hpp"
+#include "spec/monitor.hpp"
+#include "spec/unity.hpp"
+
+namespace graybox::lspec {
+
+using TmeMonitor = spec::Monitor<GlobalSnapshot>;
+using TmeMonitorSet = spec::MonitorSet<GlobalSnapshot>;
+
+/// ME1: (forall j,k :: e.j /\ e.k => j = k).
+class Me1Monitor : public TmeMonitor {
+ public:
+  Me1Monitor();
+  void begin(SimTime t, const GlobalSnapshot& s0) override;
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override;
+
+  /// Number of distinct overlap episodes (entries into violation).
+  std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  void check(SimTime t, const GlobalSnapshot& s);
+  bool in_violation_ = false;
+  std::uint64_t episodes_ = 0;
+};
+
+/// ME2: starvation freedom, with service statistics.
+class Me2Monitor : public TmeMonitor {
+ public:
+  explicit Me2Monitor(std::size_t n);
+  void begin(SimTime t, const GlobalSnapshot& s0) override;
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override;
+  void finish(SimTime t, const GlobalSnapshot& last) override;
+
+  std::uint64_t served() const { return served_; }
+  /// Longest completed hungry->eating wait observed.
+  SimTime max_wait() const { return max_wait_; }
+  /// True iff the drained run ended with someone still hungry (deadlock or
+  /// starvation — the failure mode of Section 4's scenario).
+  bool starvation_at_end() const { return starvation_at_end_; }
+
+ private:
+  void scan(SimTime t, const GlobalSnapshot& s);
+  std::vector<SimTime> hungry_since_;
+  std::uint64_t served_ = 0;
+  SimTime max_wait_ = 0;
+  bool starvation_at_end_ = false;
+};
+
+/// ME3: FCFS via happened-before on request events.
+class Me3Monitor : public TmeMonitor {
+ public:
+  explicit Me3Monitor(std::size_t n);
+  void begin(SimTime t, const GlobalSnapshot& s0) override;
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override;
+
+  std::uint64_t entries_checked() const { return entries_checked_; }
+
+ private:
+  struct OpenRequest {
+    bool open = false;
+    SimTime at = 0;
+    clk::VectorClock vc;
+  };
+  void on_request(std::size_t j, SimTime t, const GlobalSnapshot& cur);
+  void on_entry(std::size_t j, SimTime t, const GlobalSnapshot& cur);
+
+  std::vector<OpenRequest> open_;
+  std::uint64_t entries_checked_ = 0;
+};
+
+/// Invariant I (relation form): knows_earlier(j,k) => REQj lt REQk.
+class InvariantIMonitor : public TmeMonitor {
+ public:
+  InvariantIMonitor();
+  void begin(SimTime t, const GlobalSnapshot& s0) override;
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override;
+
+ private:
+  void check(SimTime t, const GlobalSnapshot& s);
+  bool in_violation_ = false;
+};
+
+/// Convenience: populate a monitor set with the full TME battery. Returns
+/// references to the individual monitors for stats queries.
+struct TmeMonitors {
+  Me1Monitor* me1 = nullptr;
+  Me2Monitor* me2 = nullptr;
+  Me3Monitor* me3 = nullptr;
+  InvariantIMonitor* invariant_i = nullptr;
+};
+TmeMonitors install_tme_monitors(TmeMonitorSet& set, std::size_t n);
+
+}  // namespace graybox::lspec

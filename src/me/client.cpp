@@ -1,0 +1,72 @@
+#include "me/client.hpp"
+
+namespace graybox::me {
+
+Client::Client(sim::Scheduler& sched, TmeProcess& process, ClientConfig config,
+               Rng rng)
+    : sched_(sched),
+      process_(process),
+      config_(config),
+      rng_(rng),
+      timer_(sched, config.poll_interval, [this] { on_poll(); }) {
+  next_request_at_ = rng_.exponential(config_.think_mean);
+}
+
+void Client::start() { timer_.start(); }
+void Client::stop() { timer_.stop(); }
+
+void Client::on_poll() {
+  const TmeState current = process_.state();
+  if (current != observed_) {
+    // A transition happened since the last poll — either a program
+    // transition or a corruption jump. Re-derive the deadline that the
+    // observed state calls for; stale deadlines for other states are moot.
+    observed_ = current;
+    switch (current) {
+      case TmeState::kThinking:
+        next_request_at_ = sched_.now() + rng_.exponential(config_.think_mean);
+        release_at_ = kNever;
+        break;
+      case TmeState::kEating:
+        release_at_ = sched_.now() + rng_.exponential(config_.eat_mean);
+        break;
+      case TmeState::kHungry:
+        release_at_ = kNever;
+        break;
+    }
+  }
+
+  switch (current) {
+    case TmeState::kThinking:
+      if (requesting_ && config_.wants_cs && sched_.now() >= next_request_at_) {
+        ++requests_issued_;
+        process_.request_cs();
+        // If entry was immediate (single-process system), fall through to
+        // the next poll for the release deadline.
+        observed_ = process_.state();
+        if (observed_ == TmeState::kEating)
+          release_at_ = sched_.now() + rng_.exponential(config_.eat_mean);
+      }
+      break;
+    case TmeState::kEating:
+      // CS Spec: eating is transient — from ANY state in which we observe
+      // eating (including a corruption that faked it), a release follows.
+      if (sched_.now() >= release_at_) {
+        ++releases_issued_;
+        process_.release_cs();
+        observed_ = process_.state();
+        next_request_at_ = sched_.now() + rng_.exponential(config_.think_mean);
+      }
+      break;
+    case TmeState::kHungry:
+      // Waiting on the protocol; poke the entry condition (this is what
+      // resumes progress when a corruption invalidated cached decisions).
+      process_.poll();
+      observed_ = process_.state();
+      if (observed_ == TmeState::kEating)
+        release_at_ = sched_.now() + rng_.exponential(config_.eat_mean);
+      break;
+  }
+}
+
+}  // namespace graybox::me

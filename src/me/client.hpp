@@ -1,0 +1,67 @@
+// The client workload driver: the paper's Client Spec, implemented
+// *everywhere*.
+//
+// Client Spec (Section 3.2) obliges the application side of each process:
+// thinking/hungry/eating follow the flow t -> h -> e -> t, and eating is
+// transient (CS Spec: e.j |-> ~e.j). For the guarantee to hold from any
+// fault-reached state, the client cannot be edge-triggered only: it *polls*
+// its process. Whatever state a corruption planted, the next poll observes
+// it and schedules the appropriate obligation — in particular a spuriously
+// eating process gets released (CS Spec), and a corrupted entry condition
+// gets re-evaluated via TmeProcess::poll().
+#pragma once
+
+#include "common/rng.hpp"
+#include "me/tme_process.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+
+namespace graybox::me {
+
+struct ClientConfig {
+  /// Mean thinking duration before the next CS request (exponential).
+  double think_mean = 60.0;
+  /// Mean eating duration before release (exponential).
+  double eat_mean = 10.0;
+  /// Poll cadence; also bounds how fast a corruption is noticed.
+  SimTime poll_interval = 2;
+  /// If false the client never requests the CS (a passive process that
+  /// only answers peers — used by scenario tests).
+  bool wants_cs = true;
+};
+
+class Client {
+ public:
+  Client(sim::Scheduler& sched, TmeProcess& process, ClientConfig config,
+         Rng rng);
+
+  void start();
+  void stop();
+
+  /// Stop issuing new CS requests but keep polling (drain mode: lets
+  /// in-flight obligations finish so liveness monitors can be judged).
+  void stop_requesting() { requesting_ = false; }
+  void resume_requesting() { requesting_ = true; }
+
+  std::uint64_t requests_issued() const { return requests_issued_; }
+  std::uint64_t releases_issued() const { return releases_issued_; }
+
+ private:
+  void on_poll();
+
+  sim::Scheduler& sched_;
+  TmeProcess& process_;
+  ClientConfig config_;
+  Rng rng_;
+  sim::PeriodicTimer timer_;
+  bool requesting_ = true;
+
+  /// Last state seen by the poll loop; deadlines reset when it changes.
+  TmeState observed_ = TmeState::kThinking;
+  SimTime next_request_at_ = 0;
+  SimTime release_at_ = kNever;
+  std::uint64_t requests_issued_ = 0;
+  std::uint64_t releases_issued_ = 0;
+};
+
+}  // namespace graybox::me

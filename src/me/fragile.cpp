@@ -1,0 +1,11 @@
+// FragileMe is header-only (a one-hook subclass of RicartAgrawala); this
+// translation unit exists to anchor the class's vtable-adjacent checks into
+// the library and keep one definition of its typeinfo.
+#include "me/fragile.hpp"
+
+namespace graybox::me {
+
+static_assert(!std::is_abstract_v<FragileMe>,
+              "FragileMe must be a complete, instantiable implementation");
+
+}  // namespace graybox::me

@@ -1,0 +1,77 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace graybox::net {
+
+Channel::Channel(sim::Scheduler& sched, DelayModel delay, Rng rng,
+                 DeliverFn deliver)
+    : sched_(sched), delay_(delay), rng_(rng), deliver_(std::move(deliver)) {
+  GBX_EXPECTS(deliver_ != nullptr);
+}
+
+void Channel::enqueue(const Message& msg) {
+  const SimTime arrival =
+      std::max(sched_.now() + delay_.sample(rng_), last_arrival_);
+  last_arrival_ = arrival;
+  queue_.push_back(msg);
+  ++enqueued_;
+  schedule_tick(arrival);
+}
+
+void Channel::schedule_tick(SimTime arrival) {
+  sched_.schedule_at(arrival, [this] { on_tick(); });
+}
+
+void Channel::on_tick() {
+  if (queue_.empty()) return;  // message was dropped/cleared by a fault
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  ++delivered_;
+  deliver_(msg);
+}
+
+void Channel::fault_drop(std::size_t index) {
+  GBX_EXPECTS(index < queue_.size());
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++dropped_by_fault_;
+}
+
+void Channel::fault_duplicate(std::size_t index) {
+  GBX_EXPECTS(index < queue_.size());
+  const Message copy = queue_[index];
+  queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(index) + 1, copy);
+  // The duplicate needs its own delivery tick; deliver it no earlier than
+  // the queue tail's nominal arrival to keep tick counts consistent.
+  schedule_tick(std::max(sched_.now(), last_arrival_));
+}
+
+void Channel::fault_corrupt(std::size_t index, const Message& corrupted) {
+  GBX_EXPECTS(index < queue_.size());
+  // Keep the monitor-only causal metadata of the physical message: faults
+  // corrupt payloads, they do not rewrite causality.
+  Message replacement = corrupted;
+  replacement.uid = queue_[index].uid;
+  replacement.vc = queue_[index].vc;
+  queue_[index] = replacement;
+}
+
+void Channel::fault_swap(std::size_t a, std::size_t b) {
+  GBX_EXPECTS(a < queue_.size());
+  GBX_EXPECTS(b < queue_.size());
+  std::swap(queue_[a], queue_[b]);
+}
+
+void Channel::fault_inject(const Message& msg) {
+  queue_.push_back(msg);
+  schedule_tick(std::max(sched_.now(), last_arrival_));
+}
+
+void Channel::fault_clear() {
+  dropped_by_fault_ += queue_.size();
+  queue_.clear();
+}
+
+}  // namespace graybox::net

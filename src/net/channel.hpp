@@ -1,0 +1,87 @@
+// One directed FIFO interprocess channel (Communication Spec: "channels are
+// FIFO"), with the fault surface of Section 3.1: in-flight messages can be
+// dropped, duplicated, corrupted, or reordered, the channel can be cleared
+// ("improperly initialized"), and spurious messages can be injected.
+//
+// Mechanics: enqueue computes an arrival time that is monotone along the
+// queue (max of sampled delay and the previous tail arrival), so fault-free
+// delivery is exactly FIFO. Each enqueue schedules one "delivery tick"; a
+// tick delivers the current queue head, whatever faults did to the queue in
+// between. Ticks on an empty queue are no-ops, which is how dropped or
+// cleared messages silently consume their tick.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "net/delay.hpp"
+#include "net/message.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox::net {
+
+class Channel {
+ public:
+  /// `deliver` is invoked with each message as it leaves the channel.
+  using DeliverFn = std::function<void(const Message&)>;
+
+  Channel(sim::Scheduler& sched, DelayModel delay, Rng rng, DeliverFn deliver);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Normal-path send: append and schedule a FIFO delivery tick.
+  void enqueue(const Message& msg);
+
+  std::size_t in_flight() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Read-only view of the in-flight messages, oldest first (monitors).
+  const std::deque<Message>& contents() const { return queue_; }
+
+  // --- Fault surface (used by FaultInjector and scenario tests) ---------
+
+  /// Remove the in-flight message at `index`. Its tick becomes a no-op.
+  void fault_drop(std::size_t index);
+
+  /// Duplicate the in-flight message at `index` (copy placed right behind
+  /// the original, extra delivery tick scheduled immediately).
+  void fault_duplicate(std::size_t index);
+
+  /// Overwrite fields of the in-flight message at `index`.
+  void fault_corrupt(std::size_t index, const Message& corrupted);
+
+  /// Swap two in-flight messages (transient FIFO violation).
+  void fault_swap(std::size_t a, std::size_t b);
+
+  /// Insert a fabricated message (it never passed through Network::send).
+  void fault_inject(const Message& msg);
+
+  /// Drop everything in flight ("improperly initialized channel").
+  void fault_clear();
+
+  // --- Accounting -------------------------------------------------------
+
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped_by_fault() const { return dropped_by_fault_; }
+
+ private:
+  void schedule_tick(SimTime arrival);
+  void on_tick();
+
+  sim::Scheduler& sched_;
+  DelayModel delay_;
+  Rng rng_;
+  DeliverFn deliver_;
+  std::deque<Message> queue_;
+  /// Arrival time of the most recently enqueued message; enforces FIFO
+  /// monotonicity of scheduled ticks.
+  SimTime last_arrival_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_by_fault_ = 0;
+};
+
+}  // namespace graybox::net

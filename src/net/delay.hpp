@@ -1,0 +1,29 @@
+// Message delay models. The paper only assumes "arbitrary but finite
+// transmission delays"; experiments use uniform or fixed delays so that
+// stabilization latencies are comparable across runs.
+#pragma once
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace graybox::net {
+
+struct DelayModel {
+  SimTime min = 1;
+  SimTime max = 1;
+
+  static DelayModel fixed(SimTime d) { return DelayModel{d, d}; }
+  static DelayModel uniform(SimTime lo, SimTime hi) {
+    GBX_EXPECTS(lo <= hi);
+    return DelayModel{lo, hi};
+  }
+
+  SimTime sample(Rng& rng) const {
+    GBX_EXPECTS(min <= max);
+    if (min == max) return min;
+    return rng.uniform(min, max);
+  }
+};
+
+}  // namespace graybox::net

@@ -1,0 +1,277 @@
+#include "net/fault_injector.hpp"
+
+#include "common/contracts.hpp"
+
+namespace graybox::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMessageDrop:
+      return "message-drop";
+    case FaultKind::kMessageDuplicate:
+      return "message-duplicate";
+    case FaultKind::kMessageCorrupt:
+      return "message-corrupt";
+    case FaultKind::kMessageReorder:
+      return "message-reorder";
+    case FaultKind::kSpuriousMessage:
+      return "spurious-message";
+    case FaultKind::kProcessCorrupt:
+      return "process-corrupt";
+    case FaultKind::kChannelClear:
+      return "channel-clear";
+  }
+  return "unknown-fault";
+}
+
+FaultMix FaultMix::all() {
+  FaultMix mix;
+  mix.channel_clear = true;
+  return mix;
+}
+
+FaultMix FaultMix::channel_only() {
+  FaultMix mix;
+  mix.process_corrupt = false;
+  return mix;
+}
+
+FaultMix FaultMix::process_only() {
+  FaultMix mix;
+  mix.message_drop = mix.message_duplicate = mix.message_corrupt = false;
+  mix.message_reorder = mix.spurious_message = false;
+  mix.process_corrupt = true;
+  return mix;
+}
+
+FaultMix FaultMix::only(FaultKind kind) {
+  FaultMix mix;
+  mix.message_drop = mix.message_duplicate = mix.message_corrupt = false;
+  mix.message_reorder = mix.spurious_message = mix.process_corrupt = false;
+  mix.channel_clear = false;
+  switch (kind) {
+    case FaultKind::kMessageDrop:
+      mix.message_drop = true;
+      break;
+    case FaultKind::kMessageDuplicate:
+      mix.message_duplicate = true;
+      break;
+    case FaultKind::kMessageCorrupt:
+      mix.message_corrupt = true;
+      break;
+    case FaultKind::kMessageReorder:
+      mix.message_reorder = true;
+      break;
+    case FaultKind::kSpuriousMessage:
+      mix.spurious_message = true;
+      break;
+    case FaultKind::kProcessCorrupt:
+      mix.process_corrupt = true;
+      break;
+    case FaultKind::kChannelClear:
+      mix.channel_clear = true;
+      break;
+  }
+  return mix;
+}
+
+bool FaultMix::enabled(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kMessageDrop:
+      return message_drop;
+    case FaultKind::kMessageDuplicate:
+      return message_duplicate;
+    case FaultKind::kMessageCorrupt:
+      return message_corrupt;
+    case FaultKind::kMessageReorder:
+      return message_reorder;
+    case FaultKind::kSpuriousMessage:
+      return spurious_message;
+    case FaultKind::kProcessCorrupt:
+      return process_corrupt;
+    case FaultKind::kChannelClear:
+      return channel_clear;
+  }
+  return false;
+}
+
+std::vector<FaultKind> FaultMix::enabled_kinds() const {
+  std::vector<FaultKind> kinds;
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (enabled(kind)) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+FaultInjector::FaultInjector(sim::Scheduler& sched, Network& net, Rng rng,
+                             CorruptProcessFn corrupt_process)
+    : sched_(sched),
+      net_(net),
+      rng_(rng),
+      corrupt_process_(std::move(corrupt_process)) {}
+
+FaultInjector::Target FaultInjector::pick_in_flight() {
+  const std::size_t total = net_.in_flight();
+  if (total == 0) return Target{nullptr, 0};
+  std::size_t pick = rng_.index(total);
+  const std::size_t n = net_.size();
+  for (ProcessId from = 0; from < n; ++from) {
+    for (ProcessId to = 0; to < n; ++to) {
+      if (from == to) continue;
+      Channel& ch = net_.channel(from, to);
+      if (pick < ch.in_flight()) return Target{&ch, pick};
+      pick -= ch.in_flight();
+    }
+  }
+  GBX_ASSERT(false && "in_flight total inconsistent with channels");
+  return Target{nullptr, 0};
+}
+
+std::pair<ProcessId, ProcessId> FaultInjector::pick_pair() {
+  GBX_EXPECTS(net_.size() >= 2);
+  const auto from = static_cast<ProcessId>(rng_.index(net_.size()));
+  auto to = static_cast<ProcessId>(rng_.index(net_.size() - 1));
+  if (to >= from) ++to;
+  return {from, to};
+}
+
+clk::Timestamp FaultInjector::random_timestamp() {
+  // Log-uniform magnitude: shifting a raw 64-bit draw by a random amount
+  // covers everything from 0 to astronomically large counters, exercising
+  // both the "corrupted low" (deadlock-prone) and "corrupted high"
+  // (clock-jump) recovery paths.
+  const int shift = static_cast<int>(rng_.uniform(0, 63));
+  clk::Timestamp ts;
+  ts.counter = rng_.next() >> shift;
+  ts.pid = static_cast<ProcessId>(rng_.index(net_.size()));
+  return ts;
+}
+
+Message FaultInjector::random_message(ProcessId from, ProcessId to) {
+  Message msg;
+  msg.type = static_cast<MsgType>(rng_.uniform(0, 2));
+  msg.from = from;
+  msg.to = to;
+  msg.ts = random_timestamp();
+  return msg;
+}
+
+void FaultInjector::note(FaultKind kind) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  last_fault_time_ = sched_.now();
+}
+
+bool FaultInjector::inject(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMessageDrop: {
+      Target t = pick_in_flight();
+      if (t.channel == nullptr) return false;
+      t.channel->fault_drop(t.index);
+      break;
+    }
+    case FaultKind::kMessageDuplicate: {
+      Target t = pick_in_flight();
+      if (t.channel == nullptr) return false;
+      t.channel->fault_duplicate(t.index);
+      break;
+    }
+    case FaultKind::kMessageCorrupt: {
+      Target t = pick_in_flight();
+      if (t.channel == nullptr) return false;
+      const Message& original = t.channel->contents()[t.index];
+      Message corrupted = random_message(original.from, original.to);
+      t.channel->fault_corrupt(t.index, corrupted);
+      break;
+    }
+    case FaultKind::kMessageReorder: {
+      // Reorder needs a channel holding at least two messages; pick among
+      // those (weighted by backlog) rather than failing on a random pick.
+      std::vector<Channel*> eligible;
+      const std::size_t n = net_.size();
+      for (ProcessId from = 0; from < n; ++from) {
+        for (ProcessId to = 0; to < n; ++to) {
+          if (from == to) continue;
+          Channel& ch = net_.channel(from, to);
+          if (ch.in_flight() >= 2) eligible.push_back(&ch);
+        }
+      }
+      if (eligible.empty()) return false;
+      Channel& ch = *eligible[rng_.index(eligible.size())];
+      const std::size_t a = rng_.index(ch.in_flight());
+      std::size_t b = rng_.index(ch.in_flight() - 1);
+      if (b >= a) ++b;
+      ch.fault_swap(a, b);
+      break;
+    }
+    case FaultKind::kSpuriousMessage: {
+      if (net_.size() < 2) return false;
+      const auto [from, to] = pick_pair();
+      net_.channel(from, to).fault_inject(random_message(from, to));
+      break;
+    }
+    case FaultKind::kProcessCorrupt: {
+      if (corrupt_process_ == nullptr) return false;
+      const auto pid = static_cast<ProcessId>(rng_.index(net_.size()));
+      corrupt_process_(pid, rng_);
+      break;
+    }
+    case FaultKind::kChannelClear: {
+      // Clearing an empty channel perturbs nothing; only nonempty channels
+      // are targets, so a false return really means "no fault applied".
+      std::vector<Channel*> eligible;
+      const std::size_t n = net_.size();
+      for (ProcessId from = 0; from < n; ++from) {
+        for (ProcessId to = 0; to < n; ++to) {
+          if (from == to) continue;
+          Channel& ch = net_.channel(from, to);
+          if (!ch.empty()) eligible.push_back(&ch);
+        }
+      }
+      if (eligible.empty()) return false;
+      eligible[rng_.index(eligible.size())]->fault_clear();
+      break;
+    }
+  }
+  note(kind);
+  return true;
+}
+
+bool FaultInjector::inject_random(const FaultMix& mix) {
+  std::vector<FaultKind> kinds = mix.enabled_kinds();
+  // Try kinds in random order until one applies.
+  while (!kinds.empty()) {
+    const std::size_t i = rng_.index(kinds.size());
+    const FaultKind kind = kinds[i];
+    if (inject(kind)) return true;
+    kinds.erase(kinds.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return false;
+}
+
+void FaultInjector::burst(std::size_t count, const FaultMix& mix) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!inject_random(mix)) return;
+  }
+}
+
+void FaultInjector::schedule_burst(SimTime at, std::size_t count,
+                                   FaultMix mix) {
+  sched_.schedule_at(at, [this, count, mix] { burst(count, mix); });
+}
+
+void FaultInjector::schedule_continuous(SimTime start, SimTime end,
+                                        SimTime interval, FaultMix mix) {
+  GBX_EXPECTS(interval > 0);
+  for (SimTime t = start; t < end; t += interval) {
+    sched_.schedule_at(t, [this, mix] { inject_random(mix); });
+  }
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto c : counts_) total += c;
+  return total;
+}
+
+}  // namespace graybox::net

@@ -1,0 +1,118 @@
+// Adversarial fault injection implementing the paper's fault model
+// (Section 3.1): "messages [may] be corrupted, lost, or duplicated at any
+// time. Moreover, processes (respectively channels) can be improperly
+// initialized, fail, recover, or their state could be transiently (and
+// arbitrarily) corrupted at any time. Stabilization is desired
+// notwithstanding the occurrence of any finite number of these faults."
+//
+// The injector perturbs channels directly and perturbs process state via a
+// callback supplied by the harness (the process layer sits above this one).
+// Every perturbation draws from a seeded RNG, so an adversarial run is
+// replayable. The injector records the time of the last injected fault;
+// stabilization latency is always measured from that instant.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox::net {
+
+enum class FaultKind : std::uint8_t {
+  kMessageDrop = 0,
+  kMessageDuplicate,
+  kMessageCorrupt,
+  kMessageReorder,
+  kSpuriousMessage,
+  kProcessCorrupt,
+  kChannelClear,
+};
+inline constexpr std::size_t kFaultKindCount = 7;
+
+const char* to_string(FaultKind kind);
+
+/// Which fault kinds an adversary may use.
+struct FaultMix {
+  bool message_drop = true;
+  bool message_duplicate = true;
+  bool message_corrupt = true;
+  bool message_reorder = true;
+  bool spurious_message = true;
+  bool process_corrupt = true;
+  bool channel_clear = false;  // rarely useful in random mixes; on-demand
+
+  static FaultMix all();
+  static FaultMix channel_only();
+  static FaultMix process_only();
+  static FaultMix only(FaultKind kind);
+
+  bool enabled(FaultKind kind) const;
+  std::vector<FaultKind> enabled_kinds() const;
+};
+
+class FaultInjector {
+ public:
+  /// Arbitrarily corrupts the state of one process; supplied by the harness
+  /// because processes live in a layer above the network.
+  using CorruptProcessFn = std::function<void(ProcessId, Rng&)>;
+
+  FaultInjector(sim::Scheduler& sched, Network& net, Rng rng,
+                CorruptProcessFn corrupt_process);
+
+  /// Apply one fault of the given kind right now. Returns false when the
+  /// kind has no applicable target (e.g. a message fault with no message in
+  /// flight); no fault is recorded in that case.
+  bool inject(FaultKind kind);
+
+  /// Apply one fault of a random enabled kind. Kinds whose targets are
+  /// absent are skipped; returns false if nothing was applicable.
+  bool inject_random(const FaultMix& mix);
+
+  /// Apply up to `count` random faults right now.
+  void burst(std::size_t count, const FaultMix& mix);
+
+  /// Schedule a burst at an absolute time.
+  void schedule_burst(SimTime at, std::size_t count, FaultMix mix);
+
+  /// Inject one random fault every `interval` ticks in [start, end).
+  void schedule_continuous(SimTime start, SimTime end, SimTime interval,
+                           FaultMix mix);
+
+  /// Fabricate an adversarial message payload (log-uniform magnitude
+  /// timestamp, random type). Public so scenario tests can reuse it.
+  Message random_message(ProcessId from, ProcessId to);
+
+  /// Time of the most recent successfully injected fault; kNever if none.
+  SimTime last_fault_time() const { return last_fault_time_; }
+
+  std::uint64_t count(FaultKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_injected() const;
+
+ private:
+  struct Target {
+    Channel* channel;
+    std::size_t index;
+  };
+  /// Pick a uniformly random in-flight message across all channels; null
+  /// channel if none in flight.
+  Target pick_in_flight();
+  /// Pick a random ordered process pair (requires n >= 2).
+  std::pair<ProcessId, ProcessId> pick_pair();
+  clk::Timestamp random_timestamp();
+  void note(FaultKind kind);
+
+  sim::Scheduler& sched_;
+  Network& net_;
+  Rng rng_;
+  CorruptProcessFn corrupt_process_;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+  SimTime last_fault_time_ = kNever;
+};
+
+}  // namespace graybox::net

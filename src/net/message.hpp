@@ -1,0 +1,55 @@
+// Wire messages of the timestamp-based mutual-exclusion protocols.
+//
+// Both programs in the paper (Ricart-Agrawala Section 5.1, Lamport Section
+// 5.2) exchange exactly three message kinds, each carrying one timestamp:
+//
+//   Request(REQj)  - "send" of Request Spec; also what the wrapper W resends
+//   Reply(REQj)    - "send" of Reply Spec; carries the *replier's current
+//                    REQ*, which is what lets the receiver's view j.REQk be
+//                    "eventually set to REQk" (Section 4's correctness
+//                    argument for W) and preserves invariant I
+//   Release(REQj)  - Lamport ME only; retires the sender's queue entry
+//
+// The fault model (Section 3.1) corrupts, loses, and duplicates messages
+// arbitrarily, so receivers must treat every field as untrusted; all three
+// handler paths in src/me are total functions of the message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "clock/timestamp.hpp"
+#include "clock/vector_clock.hpp"
+#include "common/types.hpp"
+
+namespace graybox::net {
+
+enum class MsgType : std::uint8_t { kRequest = 0, kReply = 1, kRelease = 2 };
+
+const char* to_string(MsgType t);
+
+struct Message {
+  MsgType type = MsgType::kRequest;
+  ProcessId from = 0;
+  ProcessId to = 0;
+  clk::Timestamp ts{};
+
+  /// True when the message was (re)sent by a graybox wrapper rather than by
+  /// the wrapped program. Metadata for accounting only: receivers must not
+  /// (and do not) read it, otherwise the wrapper would no longer be a plain
+  /// Lspec-level component.
+  bool from_wrapper = false;
+
+  /// Unique per physical send; lets monitors correlate send/delivery and
+  /// detect duplication. Assigned by Network::send.
+  std::uint64_t uid = 0;
+
+  /// Monitor-side causal metadata maintained by the Network, never read by
+  /// the programs under test. Used by the ME3 (FCFS) monitor to decide
+  /// Lamport's happened-before relation exactly.
+  clk::VectorClock vc{};
+
+  std::string to_string() const;
+};
+
+}  // namespace graybox::net

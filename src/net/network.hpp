@@ -1,0 +1,94 @@
+// The interprocess network: a complete graph of directed FIFO channels over
+// n processes ("we assume that the processes are connected", Section 3.1),
+// plus the monitor-side causality layer.
+//
+// Responsibilities:
+//   * route Message sends into per-pair channels and deliver them to the
+//     registered per-process handlers;
+//   * assign message uids and thread vector clocks through sends/deliveries
+//     so monitors can decide happened-before without the programs under
+//     test ever seeing causal metadata;
+//   * expose send/delivery observers (the lspec monitors and the
+//     experiment accounting hook here);
+//   * expose the channels' fault surface to the FaultInjector.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "clock/vector_clock.hpp"
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+
+namespace graybox::net {
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using MessageObserver = std::function<void(const Message&)>;
+
+  /// A network of `n` processes with the given delay model. Each channel
+  /// gets an independent RNG stream split from `rng`.
+  Network(sim::Scheduler& sched, std::size_t n, DelayModel delay, Rng rng);
+
+  std::size_t size() const { return n_; }
+
+  /// Install the delivery handler for process `pid`. Must be set before the
+  /// first delivery to that process.
+  void set_handler(ProcessId pid, Handler handler);
+
+  /// Send `type`/`ts` from `from` to `to`. Ticks the sender's monitor-side
+  /// vector clock, stamps uid and vc, and enqueues on the FIFO channel.
+  /// `from_wrapper` tags wrapper resends for accounting (see Message).
+  void send(ProcessId from, ProcessId to, MsgType type, clk::Timestamp ts,
+            bool from_wrapper = false);
+
+  /// Record a local (non-send) event of `pid` in the causality layer; the
+  /// harness calls this when a client triggers a request/release so the
+  /// FCFS monitor sees those events in happened-before order.
+  void local_event(ProcessId pid);
+
+  /// Monitor-side causal clock of a process (snapshot semantics: the value
+  /// after the process's most recent event).
+  const clk::VectorClock& vclock(ProcessId pid) const;
+
+  /// Directed channel from -> to. Requires from != to.
+  Channel& channel(ProcessId from, ProcessId to);
+  const Channel& channel(ProcessId from, ProcessId to) const;
+
+  /// Total messages currently in flight across all channels.
+  std::size_t in_flight() const;
+
+  /// Observers fire on every send (after stamping) and every delivery
+  /// (before the handler runs).
+  void add_send_observer(MessageObserver obs);
+  void add_delivery_observer(MessageObserver obs);
+
+  // --- Accounting -------------------------------------------------------
+  std::uint64_t total_sent() const { return total_sent_; }
+  std::uint64_t total_delivered() const { return total_delivered_; }
+  std::uint64_t sent_by_wrapper() const { return sent_by_wrapper_; }
+  std::uint64_t sent_of_type(MsgType t) const {
+    return sent_by_type_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  std::size_t channel_index(ProcessId from, ProcessId to) const;
+  void deliver(const Message& msg);
+
+  sim::Scheduler& sched_;
+  std::size_t n_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // n*n, diagonal unused
+  std::vector<Handler> handlers_;
+  std::vector<clk::VectorClock> vclocks_;
+  std::vector<MessageObserver> send_observers_;
+  std::vector<MessageObserver> delivery_observers_;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t sent_by_wrapper_ = 0;
+  std::uint64_t sent_by_type_[3] = {0, 0, 0};
+};
+
+}  // namespace graybox::net

@@ -1,0 +1,61 @@
+#include "sim/scheduler.hpp"
+
+#include "common/contracts.hpp"
+
+namespace graybox::sim {
+
+EventId Scheduler::schedule_at(SimTime t, EventFn fn) {
+  GBX_EXPECTS(t >= now_);
+  GBX_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Scheduler::schedule_after(SimTime delay, EventFn fn) {
+  GBX_EXPECTS(delay <= kNever - now_);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void Scheduler::execute(Entry entry) {
+  now_ = entry.time;
+  pending_ids_.erase(entry.id);
+  ++executed_;
+  entry.fn();
+  for (const auto& obs : observers_) obs(now_);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(entry.id) > 0) continue;  // skip cancelled
+    execute(std::move(entry));
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime t) {
+  GBX_EXPECTS(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  now_ = t;
+}
+
+void Scheduler::run_all(std::uint64_t max_events) {
+  std::uint64_t ran = 0;
+  while (step()) {
+    GBX_ASSERT(++ran <= max_events);
+  }
+}
+
+}  // namespace graybox::sim

@@ -1,0 +1,50 @@
+#include "sim/timer.hpp"
+
+#include "common/contracts.hpp"
+
+namespace graybox::sim {
+
+namespace {
+SimTime normalize(SimTime period) { return period == 0 ? 1 : period; }
+}  // namespace
+
+PeriodicTimer::PeriodicTimer(Scheduler& sched, SimTime period, TickFn fn)
+    : sched_(sched), period_(normalize(period)), fn_(std::move(fn)) {
+  GBX_EXPECTS(fn_ != nullptr);
+}
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sched_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTimer::set_period(SimTime period) {
+  period_ = normalize(period);
+  if (running_) {
+    if (pending_ != 0) sched_.cancel(pending_);
+    arm();
+  }
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sched_.schedule_after(period_, [this] { on_tick(); });
+}
+
+void PeriodicTimer::on_tick() {
+  pending_ = 0;
+  ++fired_;
+  fn_();
+  if (running_) arm();
+}
+
+}  // namespace graybox::sim

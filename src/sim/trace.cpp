@@ -1,0 +1,26 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace graybox::sim {
+
+void Trace::record(SimTime t, std::string text) {
+  if (capacity_ == 0) return;
+  records_.push_back(Record{t, std::move(text)});
+  ++total_;
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+void Trace::clear() {
+  records_.clear();
+  total_ = 0;
+}
+
+void Trace::dump(std::ostream& os, std::size_t last_n) const {
+  std::size_t start = 0;
+  if (records_.size() > last_n) start = records_.size() - last_n;
+  for (std::size_t i = start; i < records_.size(); ++i)
+    os << '[' << records_[i].time << "] " << records_[i].text << '\n';
+}
+
+}  // namespace graybox::sim

@@ -1,0 +1,43 @@
+// Bounded textual trace of simulator activity.
+//
+// The trace is a debugging aid, not the monitoring substrate: specification
+// conformance is judged by src/spec and src/lspec over typed snapshots. The
+// trace exists so that failing tests and example binaries can print the tail
+// of "what happened" in human terms.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace graybox::sim {
+
+class Trace {
+ public:
+  /// Keep at most `capacity` most-recent records.
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(SimTime t, std::string text);
+
+  /// Oldest-first access to the retained records.
+  struct Record {
+    SimTime time;
+    std::string text;
+  };
+  const std::deque<Record>& records() const { return records_; }
+
+  std::uint64_t total_recorded() const { return total_; }
+  void clear();
+
+  /// Print the retained tail, one "[time] text" line per record.
+  void dump(std::ostream& os, std::size_t last_n = 64) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Record> records_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace graybox::sim

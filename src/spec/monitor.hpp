@@ -1,0 +1,156 @@
+// Monitor framework: specification conformance as runtime verification.
+//
+// The paper states specifications in UNITY (Section 3.1); we check them over
+// executions by observing the global state after every simulator event and
+// feeding each consecutive state pair to a set of monitors. A monitor
+// receives:
+//
+//   begin(t, s0)        - the first observed state,
+//   step(t, prev, cur)  - every subsequent transition, and
+//   finish(t, last)     - end of observation, where liveness obligations
+//                         still outstanding become violations.
+//
+// Monitors are templated on the snapshot type S so the framework is
+// independent of TME; src/lspec instantiates S = lspec::GlobalSnapshot.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "spec/violation.hpp"
+
+namespace graybox::spec {
+
+template <typename S>
+class Monitor {
+ public:
+  explicit Monitor(std::string name) : name_(std::move(name)) {}
+  virtual ~Monitor() = default;
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual void begin(SimTime /*t*/, const S& /*s0*/) {}
+  virtual void step(SimTime t, const S& prev, const S& cur) = 0;
+  virtual void finish(SimTime /*t*/, const S& /*last*/) {}
+
+  /// Retained violation records (capped at kMaxRetained; counters below
+  /// keep exact totals when a long-lived breach floods the monitor).
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool clean() const { return total_violations_ == 0; }
+
+  /// Exact number of violations observed, retained or not.
+  std::uint64_t total_violations() const { return total_violations_; }
+
+  /// Latest violation time; kNever when clean. Exact even past the
+  /// retention cap.
+  SimTime last_violation() const { return last_violation_; }
+
+  /// Earliest violation time; kNever when clean.
+  SimTime first_violation() const { return first_violation_; }
+
+ protected:
+  static constexpr std::size_t kMaxRetained = 256;
+
+  void report(SimTime t, std::string detail) {
+    if (total_violations_ == 0 || t < first_violation_) first_violation_ = t;
+    if (total_violations_ == 0 || t > last_violation_) last_violation_ = t;
+    ++total_violations_;
+    if (violations_.size() < kMaxRetained)
+      violations_.push_back(Violation{t, name_, std::move(detail)});
+  }
+
+ private:
+  std::string name_;
+  std::vector<Violation> violations_;
+  std::uint64_t total_violations_ = 0;
+  SimTime first_violation_ = kNever;
+  SimTime last_violation_ = kNever;
+};
+
+/// Owns a set of monitors and drives them with the begin/step/finish
+/// protocol. The harness calls observe() from a scheduler observer.
+template <typename S>
+class MonitorSet {
+ public:
+  template <typename M, typename... Args>
+  M& add(Args&&... args) {
+    auto monitor = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *monitor;
+    monitors_.push_back(std::move(monitor));
+    return ref;
+  }
+
+  /// Feed the state observed at time t. The first call becomes begin().
+  void observe(SimTime t, const S& state) {
+    if (!started_) {
+      for (auto& m : monitors_) m->begin(t, state);
+      started_ = true;
+    } else {
+      for (auto& m : monitors_) m->step(t, previous_, state);
+    }
+    previous_ = state;
+    observed_ += 1;
+  }
+
+  /// Close observation; liveness monitors flush outstanding obligations.
+  void finish(SimTime t) {
+    if (!started_ || finished_) return;
+    for (auto& m : monitors_) m->finish(t, previous_);
+    finished_ = true;
+  }
+
+  std::size_t size() const { return monitors_.size(); }
+  std::uint64_t observed_states() const { return observed_; }
+
+  const std::vector<std::unique_ptr<Monitor<S>>>& monitors() const {
+    return monitors_;
+  }
+
+  /// All retained violations across monitors, unsorted.
+  std::vector<Violation> all_violations() const {
+    std::vector<Violation> all;
+    for (const auto& m : monitors_)
+      all.insert(all.end(), m->violations().begin(), m->violations().end());
+    return all;
+  }
+
+  /// Exact total violations across monitors.
+  std::uint64_t total_violations() const {
+    std::uint64_t total = 0;
+    for (const auto& m : monitors_) total += m->total_violations();
+    return total;
+  }
+
+  /// Latest violation time across all monitors; kNever when fully clean.
+  /// Exact even past each monitor's retention cap.
+  SimTime last_violation() const {
+    SimTime last = kNever;
+    for (const auto& m : monitors_) {
+      const SimTime t = m->last_violation();
+      if (t == kNever) continue;
+      if (last == kNever || t > last) last = t;
+    }
+    return last;
+  }
+
+  bool clean() const {
+    for (const auto& m : monitors_)
+      if (!m->clean()) return false;
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Monitor<S>>> monitors_;
+  S previous_{};
+  bool started_ = false;
+  bool finished_ = false;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace graybox::spec

@@ -1,0 +1,37 @@
+// Violation records produced by specification monitors.
+//
+// A monitor never stops a run: stabilization is precisely the property that
+// violations are confined to a finite prefix, so monitors *record* breaches
+// with their simulated time and the stabilization detector later asks "when
+// was the last one?". (Contrast masking fault-tolerance, where a single
+// violation is fatal — Section 6 discusses the distinction.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace graybox::spec {
+
+struct Violation {
+  SimTime time = 0;
+  /// Name of the violated specification clause, e.g. "ME1" or
+  /// "StructuralSpec(3)".
+  std::string clause;
+  /// Human-readable details of the breach.
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// Latest violation time in a list; kNever when empty. (Note kNever acts as
+/// "-infinity" here: no violation means any suffix is clean, and callers
+/// compare with `violations_before(t)` style predicates instead.)
+SimTime last_violation_time(const std::vector<Violation>& violations);
+
+/// Count of violations at or after `t`.
+std::size_t violations_at_or_after(const std::vector<Violation>& violations,
+                                   SimTime t);
+
+}  // namespace graybox::spec

@@ -1,0 +1,458 @@
+// Unit tests for the finite-system algebra: bitsets, systems, SCCs, and the
+// decision procedures, including an explicit-path cross-check of
+// stabilizes_to on small systems and the Figure 1 counterexample.
+#include <gtest/gtest.h>
+
+#include "algebra/bitset.hpp"
+#include "algebra/checks.hpp"
+#include "algebra/generate.hpp"
+#include "algebra/scc.hpp"
+#include "algebra/system.hpp"
+
+namespace graybox::algebra {
+namespace {
+
+// --- Bitset -----------------------------------------------------------------
+
+TEST(Bitset, SetTestReset) {
+  Bitset bs(100);
+  EXPECT_FALSE(bs.test(63));
+  bs.set(63);
+  bs.set(64);
+  EXPECT_TRUE(bs.test(63));
+  EXPECT_TRUE(bs.test(64));
+  bs.reset(63);
+  EXPECT_FALSE(bs.test(63));
+  EXPECT_EQ(bs.count(), 1u);
+}
+
+TEST(Bitset, FillRespectsSize) {
+  Bitset bs(70);
+  bs.fill();
+  EXPECT_EQ(bs.count(), 70u);
+}
+
+TEST(Bitset, SubsetAndIntersects) {
+  Bitset a(10), b(10);
+  a.set(1);
+  a.set(3);
+  b.set(1);
+  b.set(3);
+  b.set(5);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  Bitset c(10);
+  c.set(7);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(c.is_subset_of(b) == false);
+}
+
+TEST(Bitset, EmptySubsetOfAnything) {
+  Bitset empty(10), b(10);
+  b.set(2);
+  EXPECT_TRUE(empty.is_subset_of(b));
+  EXPECT_TRUE(empty.is_subset_of(empty));
+  EXPECT_FALSE(empty.any());
+}
+
+TEST(Bitset, BitwiseOps) {
+  Bitset a(10), b(10);
+  a.set(1);
+  b.set(2);
+  a |= b;
+  EXPECT_EQ(a.count(), 2u);
+  a &= b;
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(2));
+  a.subtract(b);
+  EXPECT_TRUE(a.none());
+}
+
+TEST(Bitset, NextSetIteration) {
+  Bitset bs(130);
+  bs.set(0);
+  bs.set(64);
+  bs.set(129);
+  std::vector<std::size_t> seen;
+  for (const auto i : bits(bs)) seen.push_back(i);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 64, 129}));
+}
+
+TEST(Bitset, NextSetFromMiddle) {
+  Bitset bs(100);
+  bs.set(10);
+  bs.set(50);
+  EXPECT_EQ(bs.next_set(0), 10u);
+  EXPECT_EQ(bs.next_set(11), 50u);
+  EXPECT_EQ(bs.next_set(51), 100u);
+}
+
+TEST(Bitset, ToString) {
+  Bitset bs(8);
+  bs.set(0);
+  bs.set(3);
+  EXPECT_EQ(bs.to_string(), "{0,3}");
+}
+
+// --- System -------------------------------------------------------------------
+
+TEST(System, TransitionsAndInitial) {
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.set_initial(0);
+  EXPECT_TRUE(sys.has_transition(0, 1));
+  EXPECT_FALSE(sys.has_transition(1, 0));
+  EXPECT_TRUE(sys.is_initial(0));
+  EXPECT_EQ(sys.num_transitions(), 1u);
+}
+
+TEST(System, WellFormedNeedsTotalityAndInit) {
+  System sys(2);
+  sys.set_initial(0);
+  EXPECT_FALSE(sys.well_formed());  // no successors
+  sys.add_transition(0, 1);
+  EXPECT_FALSE(sys.well_formed());  // state 1 still stuck
+  sys.add_transition(1, 0);
+  EXPECT_TRUE(sys.well_formed());
+  System no_init(1);
+  no_init.add_transition(0, 0);
+  EXPECT_FALSE(no_init.well_formed());
+}
+
+TEST(System, EnsureTotalAddsSelfLoops) {
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.ensure_total();
+  EXPECT_TRUE(sys.has_transition(1, 1));
+  EXPECT_TRUE(sys.has_transition(2, 2));
+  EXPECT_FALSE(sys.has_transition(0, 0));  // already total
+}
+
+TEST(System, ReachableFromInitial) {
+  System sys(4);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 2);
+  sys.add_transition(2, 2);
+  sys.add_transition(3, 0);
+  sys.set_initial(0);
+  const Bitset reach = sys.reachable_from_initial();
+  EXPECT_TRUE(reach.test(0));
+  EXPECT_TRUE(reach.test(1));
+  EXPECT_TRUE(reach.test(2));
+  EXPECT_FALSE(reach.test(3));
+}
+
+TEST(System, BoxUnionsRelationsIntersectsInits) {
+  System a(3), b(3);
+  a.add_transition(0, 1);
+  a.set_initial(0);
+  a.set_initial(1);
+  b.add_transition(1, 2);
+  b.set_initial(1);
+  b.set_initial(2);
+  const System boxed = System::box(a, b);
+  EXPECT_TRUE(boxed.has_transition(0, 1));
+  EXPECT_TRUE(boxed.has_transition(1, 2));
+  EXPECT_TRUE(boxed.is_initial(1));
+  EXPECT_FALSE(boxed.is_initial(0));
+  EXPECT_FALSE(boxed.is_initial(2));
+}
+
+TEST(System, BoxIsCommutativeOnRelations) {
+  Rng rng(3);
+  const System a = random_system(rng, {});
+  const System b = random_system(rng, {});
+  const System ab = System::box(a, b);
+  const System ba = System::box(b, a);
+  EXPECT_TRUE(ab.relation_subset_of(ba));
+  EXPECT_TRUE(ba.relation_subset_of(ab));
+  EXPECT_EQ(ab.initial(), ba.initial());
+}
+
+TEST(System, RelationSubset) {
+  System a(2), b(2);
+  a.add_transition(0, 1);
+  b.add_transition(0, 1);
+  b.add_transition(1, 0);
+  EXPECT_TRUE(a.relation_subset_of(b));
+  EXPECT_FALSE(b.relation_subset_of(a));
+}
+
+TEST(System, ToStringWithNames) {
+  System sys(2);
+  sys.add_transition(0, 1);
+  sys.set_initial(0);
+  const std::string out = sys.to_string({"p", "q"});
+  EXPECT_NE(out.find("initial: {p}"), std::string::npos);
+  EXPECT_NE(out.find("p -> {q}"), std::string::npos);
+}
+
+// --- SCC ------------------------------------------------------------------------
+
+TEST(Scc, SingleCycle) {
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 2);
+  sys.add_transition(2, 0);
+  const SccResult scc = strongly_connected_components(sys);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_TRUE(scc.same_component(0, 2));
+}
+
+TEST(Scc, ChainHasSingletonComponents) {
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 2);
+  const SccResult scc = strongly_connected_components(sys);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_FALSE(scc.same_component(0, 1));
+}
+
+TEST(Scc, TwoCyclesBridged) {
+  System sys(5);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 0);
+  sys.add_transition(1, 2);  // bridge
+  sys.add_transition(2, 3);
+  sys.add_transition(3, 4);
+  sys.add_transition(4, 2);
+  const SccResult scc = strongly_connected_components(sys);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_TRUE(scc.same_component(0, 1));
+  EXPECT_TRUE(scc.same_component(2, 4));
+  EXPECT_FALSE(scc.same_component(0, 2));
+}
+
+TEST(Scc, TarjanEmitsReverseTopologicalOrder) {
+  // Sinks get smaller component ids than their predecessors — the
+  // bad-step-bound DP relies on this.
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 2);
+  const SccResult scc = strongly_connected_components(sys);
+  EXPECT_LT(scc.component[2], scc.component[1]);
+  EXPECT_LT(scc.component[1], scc.component[0]);
+}
+
+TEST(Scc, EdgeOnCycleDetection) {
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 0);
+  sys.add_transition(1, 2);
+  sys.add_transition(2, 2);
+  const SccResult scc = strongly_connected_components(sys);
+  EXPECT_TRUE(edge_on_cycle(sys, scc, 0, 1));
+  EXPECT_TRUE(edge_on_cycle(sys, scc, 1, 0));
+  EXPECT_FALSE(edge_on_cycle(sys, scc, 1, 2));
+  EXPECT_TRUE(edge_on_cycle(sys, scc, 2, 2));  // self-loop
+}
+
+// --- Decision procedures ------------------------------------------------------
+
+System chain_system() {
+  // 0 -> 1 -> 2 -> 2, initial {0}.
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 2);
+  sys.add_transition(2, 2);
+  sys.set_initial(0);
+  return sys;
+}
+
+TEST(Checks, ImplementsInitReflexive) {
+  const System sys = chain_system();
+  EXPECT_TRUE(implements_init(sys, sys));
+  EXPECT_TRUE(implements_everywhere(sys, sys));
+}
+
+TEST(Checks, ImplementsInitRejectsExtraInitialStates) {
+  System a = chain_system();
+  System c = chain_system();
+  c.set_initial(1);
+  EXPECT_FALSE(implements_init(c, a));
+}
+
+TEST(Checks, ImplementsInitRejectsExtraReachableTransition) {
+  System a = chain_system();
+  System c = chain_system();
+  c.add_transition(1, 0);  // reachable from init, not in a
+  EXPECT_FALSE(implements_init(c, a));
+}
+
+TEST(Checks, ImplementsInitIgnoresUnreachableBehaviour) {
+  // C may do anything on states its initial computations never visit.
+  System a(4);
+  a.add_transition(0, 1);
+  a.add_transition(1, 1);
+  a.add_transition(2, 2);
+  a.add_transition(3, 3);
+  a.set_initial(0);
+  System c = a;
+  c.add_transition(3, 2);  // 3 unreachable from {0}
+  EXPECT_TRUE(implements_init(c, a));
+  EXPECT_FALSE(implements_everywhere(c, a));
+}
+
+TEST(Checks, EverywhereImpliesInitWhenInitsAgree) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const System a = random_system(rng, {});
+    const System c = random_everywhere_implementation(rng, a);
+    EXPECT_TRUE(implements_everywhere(c, a));
+    EXPECT_TRUE(implements_init(c, a));
+  }
+}
+
+TEST(Checks, StabilizesToSelfWhenAllStatesReachInit) {
+  // 0 <-> 1 with initial {0}: every computation stays in Reach_A(init).
+  System sys(2);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 0);
+  sys.set_initial(0);
+  EXPECT_TRUE(stabilizes_to(sys, sys));
+}
+
+TEST(Checks, SelfStabilizationFailsWithUnreachableCycle) {
+  // State 2's self-loop is outside Reach(init): computations starting
+  // there never join an initial computation.
+  System sys(3);
+  sys.add_transition(0, 1);
+  sys.add_transition(1, 0);
+  sys.add_transition(2, 2);
+  sys.set_initial(0);
+  EXPECT_FALSE(stabilizes_to(sys, sys));
+  const auto verdict = stabilizes_to_verdict(sys, sys);
+  EXPECT_TRUE(verdict.has_witness);
+  EXPECT_EQ(verdict.witness_from, 2u);
+  EXPECT_EQ(verdict.witness_to, 2u);
+}
+
+TEST(Checks, TransientDivergenceStabilizes) {
+  // 2 -> 0 funnels the stray state into the initial region: stabilizing,
+  // with exactly one bad step possible.
+  System c(3);
+  c.add_transition(0, 1);
+  c.add_transition(1, 0);
+  c.add_transition(2, 0);
+  c.set_initial(0);
+  System a(3);
+  a.add_transition(0, 1);
+  a.add_transition(1, 0);
+  a.add_transition(2, 2);
+  a.set_initial(0);
+  EXPECT_TRUE(stabilizes_to(c, a));
+  EXPECT_EQ(stabilization_bad_step_bound(c, a), 1u);
+}
+
+TEST(Checks, BadStepBoundCountsLongestChain) {
+  // 4 -> 3 -> 2 -> 1 -> 0(loop), A only has the 0-loop reachable.
+  System c(5);
+  for (State s = 4; s >= 1; --s) c.add_transition(s, s - 1);
+  c.add_transition(0, 0);
+  c.set_initial(0);
+  System a(5);
+  a.add_transition(0, 0);
+  for (State s = 1; s <= 4; ++s) a.add_transition(s, s);
+  a.set_initial(0);
+  EXPECT_TRUE(stabilizes_to(c, a));
+  EXPECT_EQ(stabilization_bad_step_bound(c, a), 4u);
+}
+
+TEST(Checks, BadStepBoundZeroWhenIdentical) {
+  const System sys = chain_system();
+  EXPECT_EQ(stabilization_bad_step_bound(sys, sys), 0u);
+}
+
+TEST(Checks, StabilizationNeedsSuffixInsideReachOfInit) {
+  // C cycles in states that A allows but that A's initial computations
+  // never visit: the suffix is an A-path but not a suffix of an A-init
+  // computation, so C does NOT stabilize to A.
+  System a(4);
+  a.add_transition(0, 1);
+  a.add_transition(1, 0);
+  a.add_transition(2, 3);
+  a.add_transition(3, 2);
+  a.set_initial(0);
+  System c(4);
+  c.add_transition(0, 1);
+  c.add_transition(1, 0);
+  c.add_transition(2, 3);
+  c.add_transition(3, 2);
+  c.set_initial(0);
+  EXPECT_TRUE(implements_everywhere(c, a));
+  EXPECT_FALSE(stabilizes_to(c, a));
+}
+
+// --- Figure 1 -----------------------------------------------------------------
+
+TEST(Figure1, SpecificationIsSelfStabilizing) {
+  const System a = figure1_specification();
+  EXPECT_TRUE(a.well_formed());
+  EXPECT_TRUE(stabilizes_to(a, a));
+}
+
+TEST(Figure1, ImplementationImplementsFromInit) {
+  const System a = figure1_specification();
+  const System c = figure1_implementation();
+  EXPECT_TRUE(implements_init(c, a));
+}
+
+TEST(Figure1, ImplementationIsNotEverywhere) {
+  const System a = figure1_specification();
+  const System c = figure1_implementation();
+  EXPECT_FALSE(implements_everywhere(c, a));
+}
+
+TEST(Figure1, ImplementationDoesNotStabilize) {
+  // The paper's counterexample: [C => A]init and A stabilizing to A, yet C
+  // is not stabilizing to A.
+  const System a = figure1_specification();
+  const System c = figure1_implementation();
+  EXPECT_FALSE(stabilizes_to(c, a));
+  const auto verdict = stabilizes_to_verdict(c, a);
+  EXPECT_EQ(verdict.witness_from, kFig1StateCorrupt);
+}
+
+TEST(Figure1, EverywhereFixStabilizes) {
+  const System a = figure1_specification();
+  const System fixed = figure1_everywhere_implementation();
+  EXPECT_TRUE(implements_everywhere(fixed, a));
+  EXPECT_TRUE(stabilizes_to(fixed, a));
+}
+
+// --- lift_local ------------------------------------------------------------------
+
+TEST(LiftLocal, ProductTransitionsMoveOneComponent) {
+  System local(2);
+  local.add_transition(0, 1);
+  local.add_transition(1, 1);
+  local.set_initial(0);
+  const System lifted = lift_local(local, 0, 2, 3);
+  EXPECT_EQ(lifted.num_states(), 6u);
+  // (0, w) -> (1, w) for every w.
+  for (State w = 0; w < 3; ++w) {
+    EXPECT_TRUE(lifted.has_transition(w * 2 + 0, w * 2 + 1));
+  }
+  EXPECT_TRUE(lifted.well_formed());
+}
+
+TEST(LiftLocal, BoxOfLiftsInterleaves) {
+  System p(2), q(2);
+  p.add_transition(0, 1);
+  p.add_transition(1, 1);
+  p.set_initial(0);
+  q.add_transition(0, 1);
+  q.add_transition(1, 1);
+  q.set_initial(0);
+  const System sys =
+      System::box(lift_local(p, 0, 2, 2), lift_local(q, 1, 2, 2));
+  // From (0,0) both the p-move and the q-move are enabled.
+  EXPECT_TRUE(sys.has_transition(0, 1));  // (0,0)->(1,0)
+  EXPECT_TRUE(sys.has_transition(0, 2));  // (0,0)->(0,1)
+  EXPECT_TRUE(sys.is_initial(0));
+  EXPECT_TRUE(sys.well_formed());
+}
+
+}  // namespace
+}  // namespace graybox::algebra

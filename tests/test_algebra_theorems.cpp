@@ -1,0 +1,188 @@
+// Randomized, parameterized property checks of the paper's Section 2
+// results over generated finite systems:
+//
+//   Lemma 0:   [C => A] /\ [W' => W]  =>  [(C [] W') => (A [] W)]
+//   Theorem 1: [C => A] /\ (A [] W stabilizes to A) /\ [W' => W]
+//              =>  (C [] W') stabilizes to A
+//   Lemma 2:   (forall i: [Ci => Ai])  =>  [C => A]   (local lifts)
+//   Lemma 3:   adds wrappers to Lemma 2
+//   Theorem 4: the local-everywhere composition of Theorem 1
+//
+// plus the negative direction the paper stresses: with only [C => A]init
+// (not everywhere), Theorem 1's conclusion fails for some systems.
+//
+// Each TEST_P instance runs many trials under one seed; premises that the
+// random draw fails to satisfy are discarded (and counted, to ensure the
+// sweep actually exercises the theorems).
+#include <gtest/gtest.h>
+
+#include "algebra/checks.hpp"
+#include "algebra/generate.hpp"
+
+namespace graybox::algebra {
+namespace {
+
+class TheoremSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng{GetParam()};
+  static constexpr int kTrials = 200;
+};
+
+TEST_P(TheoremSweep, Lemma0BoxMonotonicity) {
+  int checked = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(8);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, rng.index(6));
+    const System c = random_everywhere_implementation(rng, a);
+    const System w_impl = random_everywhere_implementation(rng, w);
+    ASSERT_TRUE(implements_everywhere(c, a));
+    ASSERT_TRUE(implements_everywhere(w_impl, w));
+    const System cw = System::box(c, w_impl);
+    const System aw = System::box(a, w);
+    // Lemma 0 concerns the relation part; initial sets may differ because
+    // random sub-implementations shrink inits, so check everywhere-form.
+    EXPECT_TRUE(implements_everywhere(cw, aw));
+    ++checked;
+  }
+  EXPECT_EQ(checked, kTrials);
+}
+
+TEST_P(TheoremSweep, Theorem1GrayboxStabilization) {
+  int premise_held = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(6);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, 1 + rng.index(8));
+    const System aw = System::box(a, w);
+    if (!aw.well_formed() || !stabilizes_to(aw, a)) continue;  // premise
+    ++premise_held;
+
+    const System c = random_everywhere_implementation(rng, a);
+    const System w_impl = random_everywhere_implementation(rng, w);
+    System cw = System::box(c, w_impl);
+    if (!cw.initial().any()) continue;  // boxing needs common init states
+    ASSERT_TRUE(cw.well_formed());
+    // Theorem 1: the graybox conclusion, for EVERY everywhere
+    // implementation and every wrapper refinement.
+    EXPECT_TRUE(stabilizes_to(cw, a))
+        << "A:\n" << a.to_string() << "W:\n" << w.to_string()
+        << "C:\n" << c.to_string() << "W':\n" << w_impl.to_string();
+  }
+  // The generator is biased toward premise-satisfying draws; make sure the
+  // sweep is not vacuous.
+  EXPECT_GE(premise_held, 5);
+}
+
+TEST_P(TheoremSweep, Theorem1FailsWithoutEverywherePremise) {
+  // The negative direction: an init-only implementation can defeat the
+  // wrapper. We do not expect EVERY draw to fail — only that failures
+  // exist, which is what makes "everywhere" a necessary premise.
+  int premise_held = 0;
+  int conclusion_failed = 0;
+  for (int trial = 0; trial < kTrials * 5; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(6);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, 1 + rng.index(8));
+    const System aw = System::box(a, w);
+    if (!aw.well_formed() || !stabilizes_to(aw, a)) continue;
+    const System c = random_init_implementation(rng, a);
+    if (!implements_init(c, a)) continue;
+    ++premise_held;
+    const System cw = System::box(c, w);
+    if (!cw.initial().any()) continue;
+    if (!stabilizes_to(cw, a)) ++conclusion_failed;
+  }
+  ASSERT_GT(premise_held, 0);
+  EXPECT_GT(conclusion_failed, 0)
+      << "no counterexample found: suspicious, Figure 1 promises some";
+}
+
+TEST_P(TheoremSweep, Lemma2LocalImplementationsCompose) {
+  for (int trial = 0; trial < kTrials / 4; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 2 + rng.index(3);
+    const System a0 = random_system(rng, params);
+    params.num_states = 2 + rng.index(3);
+    const System a1 = random_system(rng, params);
+    const std::size_t low = a0.num_states();
+    const std::size_t high = a1.num_states();
+
+    const System c0 = random_everywhere_implementation(rng, a0);
+    const System c1 = random_everywhere_implementation(rng, a1);
+
+    const System a =
+        System::box(lift_local(a0, 0, low, high), lift_local(a1, 1, low, high));
+    const System c =
+        System::box(lift_local(c0, 0, low, high), lift_local(c1, 1, low, high));
+    // Lemma 2: local everywhere implementations compose to a global one.
+    EXPECT_TRUE(implements_everywhere(c, a));
+  }
+}
+
+TEST_P(TheoremSweep, Theorem4LocalEverywhereStabilization) {
+  int premise_held = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 2 + rng.index(3);
+    const System a0 = random_system(rng, params);
+    params.num_states = 2 + rng.index(3);
+    const System a1 = random_system(rng, params);
+    const std::size_t low = a0.num_states();
+    const std::size_t high = a1.num_states();
+
+    const System a =
+        System::box(lift_local(a0, 0, low, high), lift_local(a1, 1, low, high));
+    if (!a.well_formed()) continue;
+
+    // Local wrappers, lifted and boxed (W = [] Wi).
+    const System w0 = random_wrapper(rng, a0, rng.index(4));
+    const System w1 = random_wrapper(rng, a1, rng.index(4));
+    const System w =
+        System::box(lift_local(w0, 0, low, high), lift_local(w1, 1, low, high));
+    const System aw = System::box(a, w);
+    if (!aw.well_formed() || !stabilizes_to(aw, a)) continue;
+    ++premise_held;
+
+    const System c0 = random_everywhere_implementation(rng, a0);
+    const System c1 = random_everywhere_implementation(rng, a1);
+    const System c =
+        System::box(lift_local(c0, 0, low, high), lift_local(c1, 1, low, high));
+    const System w0i = random_everywhere_implementation(rng, w0);
+    const System w1i = random_everywhere_implementation(rng, w1);
+    const System wi = System::box(lift_local(w0i, 0, low, high),
+                                  lift_local(w1i, 1, low, high));
+    const System cw = System::box(c, wi);
+    if (!cw.initial().any()) continue;
+    EXPECT_TRUE(stabilizes_to(cw, a));
+  }
+  EXPECT_GT(premise_held, 0);
+}
+
+TEST_P(TheoremSweep, StabilizationComposesTransitively) {
+  // Sanity property used implicitly throughout Section 2: if
+  // [C => A] everywhere and A stabilizes to A, then C stabilizes to A.
+  int checked = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(8);
+    const System a = random_system(rng, params);
+    if (!stabilizes_to(a, a)) continue;
+    const System c = random_everywhere_implementation(rng, a);
+    EXPECT_TRUE(stabilizes_to(c, a));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace graybox::algebra

@@ -1,0 +1,155 @@
+// Unit tests for the polling client: Client Spec everywhere — flow driving,
+// transient eating from any state, and recovery of corrupted processes via
+// polling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "me/client.hpp"
+#include "me/ricart_agrawala.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox::me {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 2;
+
+  ClientTest() : net(sched, kN, net::DelayModel::fixed(1), Rng(5)) {
+    for (ProcessId pid = 0; pid < kN; ++pid) {
+      procs.push_back(std::make_unique<RicartAgrawala>(pid, net));
+      auto* p = procs.back().get();
+      net.set_handler(pid,
+                      [p](const net::Message& m) { p->on_message(m); });
+    }
+  }
+
+  Client& make_client(ProcessId pid, ClientConfig config, std::uint64_t seed) {
+    clients.push_back(
+        std::make_unique<Client>(sched, *procs[pid], config, Rng(seed)));
+    return *clients.back();
+  }
+
+  sim::Scheduler sched;
+  net::Network net;
+  std::vector<std::unique_ptr<RicartAgrawala>> procs;
+  std::vector<std::unique_ptr<Client>> clients;
+};
+
+TEST_F(ClientTest, DrivesFullCycle) {
+  ClientConfig config;
+  config.think_mean = 20;
+  config.eat_mean = 5;
+  Client& c0 = make_client(0, config, 1);
+  Client& c1 = make_client(1, config, 2);
+  c0.start();
+  c1.start();
+  sched.run_until(5000);
+  EXPECT_GT(c0.requests_issued(), 10u);
+  EXPECT_GT(c1.requests_issued(), 10u);
+  EXPECT_GT(procs[0]->cs_entries(), 10u);
+  EXPECT_GT(procs[1]->cs_entries(), 10u);
+}
+
+TEST_F(ClientTest, ReleasesFollowEntries) {
+  ClientConfig config;
+  config.think_mean = 10;
+  config.eat_mean = 3;
+  Client& c = make_client(0, config, 3);
+  c.start();
+  sched.run_until(2000);
+  // Releases trail requests by at most the one in-flight CS.
+  EXPECT_GE(c.releases_issued() + 1, c.requests_issued());
+  EXPECT_GT(c.releases_issued(), 0u);
+}
+
+TEST_F(ClientTest, PassiveClientNeverRequests) {
+  ClientConfig config;
+  config.wants_cs = false;
+  Client& c = make_client(0, config, 4);
+  c.start();
+  sched.run_until(1000);
+  EXPECT_EQ(c.requests_issued(), 0u);
+  EXPECT_TRUE(procs[0]->thinking());
+}
+
+TEST_F(ClientTest, StopRequestingDrains) {
+  ClientConfig config;
+  config.think_mean = 10;
+  config.eat_mean = 2;
+  Client& c0 = make_client(0, config, 5);
+  Client& c1 = make_client(1, config, 6);
+  c0.start();
+  c1.start();
+  sched.run_until(500);
+  c0.stop_requesting();
+  c1.stop_requesting();
+  const auto req0 = c0.requests_issued();
+  sched.run_until(2000);
+  EXPECT_EQ(c0.requests_issued(), req0);
+  // Everything settles back to thinking.
+  EXPECT_TRUE(procs[0]->thinking());
+  EXPECT_TRUE(procs[1]->thinking());
+}
+
+TEST_F(ClientTest, SpuriousEatingIsReleased) {
+  // CS Spec everywhere: a corruption that fakes e.j must still lead to a
+  // release (eating is transient from ANY state).
+  ClientConfig config;
+  config.wants_cs = false;  // isolate the release path
+  config.eat_mean = 5;
+  Client& c = make_client(0, config, 7);
+  c.start();
+  sched.run_until(50);
+  procs[0]->fault_set_state(TmeState::kEating);
+  sched.run_until(200);
+  EXPECT_TRUE(procs[0]->thinking());
+  EXPECT_EQ(c.releases_issued(), 1u);
+}
+
+TEST_F(ClientTest, CorruptedHungryIsPolledIntoProgress) {
+  // A corruption that plants "hungry with favorable views" needs no
+  // message to make progress — the client's poll must unblock it.
+  ClientConfig config;
+  config.wants_cs = false;
+  Client& c = make_client(0, config, 8);
+  c.start();
+  procs[0]->fault_set_state(TmeState::kHungry);
+  procs[0]->fault_set_req(clk::Timestamp{1, 0});
+  procs[0]->fault_set_view(1, clk::Timestamp{100, 1});
+  sched.run_until(100);
+  // Entered via poll, then released by the client (eating transient).
+  EXPECT_TRUE(procs[0]->thinking());
+  EXPECT_EQ(procs[0]->cs_entries(), 1u);
+}
+
+TEST_F(ClientTest, StopHaltsPolling) {
+  ClientConfig config;
+  config.think_mean = 5;
+  Client& c = make_client(0, config, 9);
+  c.start();
+  sched.run_until(100);
+  c.stop();
+  const auto requests = c.requests_issued();
+  sched.run_until(1000);
+  EXPECT_EQ(c.requests_issued(), requests);
+}
+
+TEST_F(ClientTest, ResumeRequestingAfterDrain) {
+  ClientConfig config;
+  config.think_mean = 10;
+  Client& c = make_client(0, config, 10);
+  c.start();
+  c.stop_requesting();
+  sched.run_until(500);
+  EXPECT_EQ(c.requests_issued(), 0u);
+  c.resume_requesting();
+  sched.run_until(1000);
+  EXPECT_GT(c.requests_issued(), 0u);
+}
+
+}  // namespace
+}  // namespace graybox::me

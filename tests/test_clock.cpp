@@ -1,0 +1,184 @@
+// Unit tests for timestamps (the paper's `lt` total order), logical clocks
+// (everywhere implementation of Timestamp Spec), and vector clocks (the
+// monitor-side happened-before decider).
+#include <gtest/gtest.h>
+
+#include "clock/logical_clock.hpp"
+#include "clock/timestamp.hpp"
+#include "clock/vector_clock.hpp"
+#include "common/rng.hpp"
+
+namespace graybox::clk {
+namespace {
+
+// --- Timestamp / lt -------------------------------------------------------
+
+TEST(Timestamp, LtOrdersByCounterFirst) {
+  EXPECT_TRUE(lt(Timestamp{1, 9}, Timestamp{2, 0}));
+  EXPECT_FALSE(lt(Timestamp{2, 0}, Timestamp{1, 9}));
+}
+
+TEST(Timestamp, LtBreaksTiesByPid) {
+  EXPECT_TRUE(lt(Timestamp{5, 1}, Timestamp{5, 2}));
+  EXPECT_FALSE(lt(Timestamp{5, 2}, Timestamp{5, 1}));
+}
+
+TEST(Timestamp, LtIsIrreflexive) {
+  const Timestamp ts{3, 1};
+  EXPECT_FALSE(lt(ts, ts));
+}
+
+TEST(Timestamp, LtIsTotal) {
+  // For distinct timestamps exactly one direction holds.
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp a{rng.uniform(0, 5), static_cast<ProcessId>(rng.index(4))};
+    const Timestamp b{rng.uniform(0, 5), static_cast<ProcessId>(rng.index(4))};
+    if (a == b) {
+      EXPECT_FALSE(lt(a, b));
+      EXPECT_FALSE(lt(b, a));
+    } else {
+      EXPECT_NE(lt(a, b), lt(b, a));
+    }
+  }
+}
+
+TEST(Timestamp, LtIsTransitive) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp a{rng.uniform(0, 4), static_cast<ProcessId>(rng.index(3))};
+    const Timestamp b{rng.uniform(0, 4), static_cast<ProcessId>(rng.index(3))};
+    const Timestamp c{rng.uniform(0, 4), static_cast<ProcessId>(rng.index(3))};
+    if (lt(a, b) && lt(b, c)) {
+      EXPECT_TRUE(lt(a, c));
+    }
+  }
+}
+
+TEST(Timestamp, ToStringFormat) {
+  EXPECT_EQ((Timestamp{12, 3}).to_string(), "12.3");
+}
+
+// --- LogicalClock -----------------------------------------------------------
+
+TEST(LogicalClock, StartsAtZero) {
+  LogicalClock lc(2);
+  EXPECT_EQ(lc.now(), (Timestamp{0, 2}));
+}
+
+TEST(LogicalClock, TickIncrements) {
+  LogicalClock lc(0);
+  EXPECT_EQ(lc.tick(), (Timestamp{1, 0}));
+  EXPECT_EQ(lc.tick(), (Timestamp{2, 0}));
+}
+
+TEST(LogicalClock, WitnessJumpsAboveObserved) {
+  LogicalClock lc(0);
+  const Timestamp after = lc.witness(Timestamp{100, 1});
+  EXPECT_EQ(after.counter, 101u);
+  EXPECT_TRUE(lt(Timestamp{100, 1}, after));
+}
+
+TEST(LogicalClock, WitnessOfOlderStillTicks) {
+  LogicalClock lc(0);
+  for (int i = 0; i < 10; ++i) lc.tick();
+  const Timestamp after = lc.witness(Timestamp{3, 1});
+  EXPECT_EQ(after.counter, 11u);
+}
+
+TEST(LogicalClock, HbImpliesLtAcrossMessages) {
+  // Timestamp Spec: e hb f => ts.e < ts.f. Simulate send/receive chains.
+  LogicalClock a(0), b(1);
+  const Timestamp send1 = a.tick();
+  const Timestamp recv1 = b.witness(send1);
+  const Timestamp send2 = b.tick();
+  const Timestamp recv2 = a.witness(send2);
+  EXPECT_TRUE(lt(send1, recv1));
+  EXPECT_TRUE(lt(recv1, send2));
+  EXPECT_TRUE(lt(send2, recv2));
+}
+
+TEST(LogicalClock, EverywhereRecoveryFromCorruption) {
+  // The everywhere property: from ANY corrupted counter, hb => lt still
+  // holds for subsequent events.
+  LogicalClock a(0), b(1);
+  a.corrupt(1'000'000);
+  const Timestamp send = a.tick();
+  const Timestamp recv = b.witness(send);
+  EXPECT_TRUE(lt(send, recv));  // b absorbed the corrupted value
+  EXPECT_GT(recv.counter, 1'000'000u);
+}
+
+TEST(LogicalClock, CorruptLowHealsByWitnessing) {
+  LogicalClock a(0), b(1);
+  for (int i = 0; i < 50; ++i) b.tick();
+  a.corrupt(0);
+  const Timestamp recv = a.witness(b.now());
+  EXPECT_GT(recv.counter, 50u);
+}
+
+// --- VectorClock --------------------------------------------------------------
+
+TEST(VectorClock, TickAdvancesOwnComponent) {
+  VectorClock vc(1, 3);
+  vc.tick();
+  vc.tick();
+  EXPECT_EQ(vc.component(1), 2u);
+  EXPECT_EQ(vc.component(0), 0u);
+}
+
+TEST(VectorClock, WitnessMergesComponentwiseMax) {
+  VectorClock a(0, 3), b(1, 3);
+  a.tick();
+  a.tick();        // a = <2,0,0>
+  b.witness(a);    // b = <2,1,0>
+  EXPECT_EQ(b.component(0), 2u);
+  EXPECT_EQ(b.component(1), 1u);
+}
+
+TEST(VectorClock, HappenedBeforeAfterMessage) {
+  VectorClock a(0, 2), b(1, 2);
+  a.tick();
+  const VectorClock at_send = a;
+  b.witness(a);
+  EXPECT_TRUE(at_send.happened_before(b));
+  EXPECT_FALSE(b.happened_before(at_send));
+}
+
+TEST(VectorClock, ConcurrentEventsDetected) {
+  VectorClock a(0, 2), b(1, 2);
+  a.tick();
+  b.tick();
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_FALSE(a.happened_before(b));
+  EXPECT_FALSE(b.happened_before(a));
+}
+
+TEST(VectorClock, HappenedBeforeIsStrict) {
+  VectorClock a(0, 2);
+  a.tick();
+  const VectorClock copy = a;
+  EXPECT_FALSE(a.happened_before(copy));
+  EXPECT_FALSE(a.concurrent_with(copy));
+}
+
+TEST(VectorClock, TransitiveThroughIntermediary) {
+  VectorClock a(0, 3), b(1, 3), c(2, 3);
+  a.tick();
+  const VectorClock ra = a;
+  b.witness(a);
+  const VectorClock rb = b;
+  c.witness(b);
+  EXPECT_TRUE(ra.happened_before(rb));
+  EXPECT_TRUE(rb.happened_before(c));
+  EXPECT_TRUE(ra.happened_before(c));
+}
+
+TEST(VectorClock, ToString) {
+  VectorClock vc(0, 3);
+  vc.tick();
+  EXPECT_EQ(vc.to_string(), "<1,0,0>");
+}
+
+}  // namespace
+}  // namespace graybox::clk

@@ -1,0 +1,365 @@
+// Unit tests for channels (FIFO + fault surface), the network (routing,
+// causality threading, accounting), and the fault injector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fault_injector.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox::net {
+namespace {
+
+Message make_msg(ProcessId from, ProcessId to, std::uint64_t counter,
+                 MsgType type = MsgType::kRequest) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  m.to = to;
+  m.ts = clk::Timestamp{counter, from};
+  return m;
+}
+
+// --- Channel ---------------------------------------------------------------
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched;
+  std::vector<Message> delivered;
+
+  std::unique_ptr<Channel> make_channel(DelayModel delay) {
+    return std::make_unique<Channel>(
+        sched, delay, Rng(7),
+        [this](const Message& m) { delivered.push_back(m); });
+  }
+};
+
+TEST_F(ChannelTest, DeliversAfterFixedDelay) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->enqueue(make_msg(0, 1, 5));
+  sched.run_until(9);
+  EXPECT_TRUE(delivered.empty());
+  sched.run_until(10);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].ts.counter, 5u);
+}
+
+TEST_F(ChannelTest, FifoOrderWithFixedDelay) {
+  auto ch = make_channel(DelayModel::fixed(5));
+  for (std::uint64_t i = 0; i < 10; ++i) ch->enqueue(make_msg(0, 1, i));
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    EXPECT_EQ(delivered[i].ts.counter, i);
+}
+
+TEST_F(ChannelTest, FifoOrderWithRandomDelays) {
+  // Even with wildly variable delays, delivery must respect send order
+  // (Communication Spec: channels are FIFO).
+  auto ch = make_channel(DelayModel::uniform(1, 100));
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ch->enqueue(make_msg(0, 1, i));
+    sched.run_for(3);  // interleave sends with partial delivery
+  }
+  sched.run_for(500);
+  ASSERT_EQ(delivered.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i)
+    EXPECT_EQ(delivered[i].ts.counter, i);
+}
+
+TEST_F(ChannelTest, DropRemovesExactlyOne) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->enqueue(make_msg(0, 1, 1));
+  ch->enqueue(make_msg(0, 1, 2));
+  ch->fault_drop(0);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].ts.counter, 2u);
+  EXPECT_EQ(ch->dropped_by_fault(), 1u);
+}
+
+TEST_F(ChannelTest, DuplicateDeliversTwice) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->enqueue(make_msg(0, 1, 1));
+  ch->fault_duplicate(0);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].ts.counter, 1u);
+  EXPECT_EQ(delivered[1].ts.counter, 1u);
+}
+
+TEST_F(ChannelTest, CorruptRewritesPayloadKeepsIdentity) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  Message original = make_msg(0, 1, 1);
+  original.uid = 77;
+  ch->enqueue(original);
+  Message corrupted = make_msg(0, 1, 999, MsgType::kRelease);
+  ch->fault_corrupt(0, corrupted);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].ts.counter, 999u);
+  EXPECT_EQ(delivered[0].type, MsgType::kRelease);
+  EXPECT_EQ(delivered[0].uid, 77u);  // physical identity preserved
+}
+
+TEST_F(ChannelTest, SwapReordersDelivery) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->enqueue(make_msg(0, 1, 1));
+  ch->enqueue(make_msg(0, 1, 2));
+  ch->fault_swap(0, 1);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].ts.counter, 2u);
+  EXPECT_EQ(delivered[1].ts.counter, 1u);
+}
+
+TEST_F(ChannelTest, InjectFabricatesDelivery) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->fault_inject(make_msg(0, 1, 42));
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].ts.counter, 42u);
+}
+
+TEST_F(ChannelTest, ClearSilencesEverything) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  for (std::uint64_t i = 0; i < 5; ++i) ch->enqueue(make_msg(0, 1, i));
+  ch->fault_clear();
+  sched.run_all();
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(ch->dropped_by_fault(), 5u);
+  EXPECT_EQ(ch->in_flight(), 0u);
+}
+
+TEST_F(ChannelTest, AccountingCounters) {
+  auto ch = make_channel(DelayModel::fixed(1));
+  ch->enqueue(make_msg(0, 1, 1));
+  ch->enqueue(make_msg(0, 1, 2));
+  sched.run_all();
+  EXPECT_EQ(ch->enqueued(), 2u);
+  EXPECT_EQ(ch->delivered(), 2u);
+}
+
+// --- Network -----------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net(sched, 3, DelayModel::fixed(5), Rng(11)) {
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      net.set_handler(pid, [this, pid](const Message& m) {
+        received[pid].push_back(m);
+      });
+    }
+  }
+  sim::Scheduler sched;
+  Network net;
+  std::vector<Message> received[3];
+};
+
+TEST_F(NetworkTest, RoutesToRecipient) {
+  net.send(0, 2, MsgType::kRequest, clk::Timestamp{1, 0});
+  sched.run_all();
+  EXPECT_EQ(received[0].size(), 0u);
+  EXPECT_EQ(received[1].size(), 0u);
+  ASSERT_EQ(received[2].size(), 1u);
+  EXPECT_EQ(received[2][0].from, 0u);
+}
+
+TEST_F(NetworkTest, AssignsUniqueIncreasingUids) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  net.send(1, 2, MsgType::kReply, clk::Timestamp{2, 1});
+  sched.run_all();
+  ASSERT_EQ(received[1].size(), 1u);
+  ASSERT_EQ(received[2].size(), 1u);
+  EXPECT_LT(received[1][0].uid, received[2][0].uid);
+  EXPECT_NE(received[1][0].uid, 0u);
+}
+
+TEST_F(NetworkTest, ThreadsVectorClocksThroughMessages) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  sched.run_all();
+  // After delivery, 1's vclock dominates 0's at-send clock.
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_TRUE(received[1][0].vc.happened_before(net.vclock(1)));
+}
+
+TEST_F(NetworkTest, LocalEventTicksClock) {
+  const auto before = net.vclock(1).component(1);
+  net.local_event(1);
+  EXPECT_EQ(net.vclock(1).component(1), before + 1);
+}
+
+TEST_F(NetworkTest, InFlightCountsAcrossChannels) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  net.send(2, 1, MsgType::kRequest, clk::Timestamp{1, 2});
+  EXPECT_EQ(net.in_flight(), 2u);
+  sched.run_all();
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST_F(NetworkTest, SendAndDeliveryObserversFire) {
+  int sends = 0, deliveries = 0;
+  net.add_send_observer([&](const Message&) { ++sends; });
+  net.add_delivery_observer([&](const Message&) { ++deliveries; });
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(deliveries, 0);
+  sched.run_all();
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(NetworkTest, TypeAndWrapperAccounting) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0}, true);
+  net.send(0, 1, MsgType::kReply, clk::Timestamp{2, 0});
+  net.send(0, 1, MsgType::kRelease, clk::Timestamp{3, 0});
+  EXPECT_EQ(net.total_sent(), 3u);
+  EXPECT_EQ(net.sent_by_wrapper(), 1u);
+  EXPECT_EQ(net.sent_of_type(MsgType::kRequest), 1u);
+  EXPECT_EQ(net.sent_of_type(MsgType::kReply), 1u);
+  EXPECT_EQ(net.sent_of_type(MsgType::kRelease), 1u);
+}
+
+TEST_F(NetworkTest, FabricatedMessageWithEmptyVcStillDelivered) {
+  Message fake = make_msg(0, 1, 9);
+  net.channel(0, 1).fault_inject(fake);
+  sched.run_all();
+  ASSERT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetworkTest, MessageToString) {
+  Message m = make_msg(0, 1, 9);
+  m.from_wrapper = true;
+  EXPECT_EQ(m.to_string(), "request(9.0) 0->1 [wrapper]");
+}
+
+// --- FaultInjector -------------------------------------------------------------
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest()
+      : net(sched, 3, DelayModel::fixed(50), Rng(13)),
+        injector(sched, net, Rng(17), [this](ProcessId pid, Rng&) {
+          corrupted.push_back(pid);
+        }) {
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      net.set_handler(pid, [this](const Message& m) {
+        delivered.push_back(m);
+      });
+    }
+  }
+  sim::Scheduler sched;
+  Network net;
+  std::vector<Message> delivered;
+  std::vector<ProcessId> corrupted;
+  FaultInjector injector;
+};
+
+TEST_F(FaultInjectorTest, MessageFaultsNeedTargets) {
+  EXPECT_FALSE(injector.inject(FaultKind::kMessageDrop));
+  EXPECT_FALSE(injector.inject(FaultKind::kMessageDuplicate));
+  EXPECT_FALSE(injector.inject(FaultKind::kMessageCorrupt));
+  EXPECT_FALSE(injector.inject(FaultKind::kMessageReorder));
+  EXPECT_EQ(injector.total_injected(), 0u);
+  EXPECT_EQ(injector.last_fault_time(), kNever);
+}
+
+TEST_F(FaultInjectorTest, DropReducesInFlight) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  EXPECT_TRUE(injector.inject(FaultKind::kMessageDrop));
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(injector.count(FaultKind::kMessageDrop), 1u);
+}
+
+TEST_F(FaultInjectorTest, DuplicateIncreasesInFlight) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  EXPECT_TRUE(injector.inject(FaultKind::kMessageDuplicate));
+  EXPECT_EQ(net.in_flight(), 2u);
+}
+
+TEST_F(FaultInjectorTest, ReorderNeedsTwoMessagesInOneChannel) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  net.send(2, 1, MsgType::kRequest, clk::Timestamp{1, 2});
+  // Two messages in flight but in *different* channels: reorder unavailable.
+  EXPECT_FALSE(injector.inject(FaultKind::kMessageReorder));
+  net.send(0, 1, MsgType::kReply, clk::Timestamp{2, 0});
+  EXPECT_TRUE(injector.inject(FaultKind::kMessageReorder));
+}
+
+TEST_F(FaultInjectorTest, SpuriousMessageArrives) {
+  EXPECT_TRUE(injector.inject(FaultKind::kSpuriousMessage));
+  sched.run_all();
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(FaultInjectorTest, ProcessCorruptRoutesToCallback) {
+  EXPECT_TRUE(injector.inject(FaultKind::kProcessCorrupt));
+  EXPECT_EQ(corrupted.size(), 1u);
+  EXPECT_LT(corrupted[0], 3u);
+}
+
+TEST_F(FaultInjectorTest, ChannelClearEmptiesOnePair) {
+  for (int i = 0; i < 3; ++i)
+    net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  // Repeat until the random pair selection hits channel 0->1.
+  while (net.in_flight() == 3) injector.inject(FaultKind::kChannelClear);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST_F(FaultInjectorTest, BurstInjectsRequestedCount) {
+  for (int i = 0; i < 10; ++i)
+    net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  injector.burst(5, FaultMix::all());
+  EXPECT_EQ(injector.total_injected(), 5u);
+}
+
+TEST_F(FaultInjectorTest, ScheduledBurstFiresAtTime) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  injector.schedule_burst(20, 1, FaultMix::process_only());
+  sched.run_until(19);
+  EXPECT_EQ(injector.total_injected(), 0u);
+  sched.run_until(20);
+  EXPECT_EQ(injector.total_injected(), 1u);
+  EXPECT_EQ(injector.last_fault_time(), 20u);
+}
+
+TEST_F(FaultInjectorTest, ContinuousInjectsAtInterval) {
+  injector.schedule_continuous(10, 50, 10, FaultMix::process_only());
+  sched.run_until(100);
+  EXPECT_EQ(injector.count(FaultKind::kProcessCorrupt), 4u);  // 10,20,30,40
+}
+
+TEST_F(FaultInjectorTest, InjectRandomSkipsInapplicableKinds) {
+  // Empty network traffic: among {drop, corrupt-process}, only process
+  // corruption has a target, so the random pick must fall through to it.
+  FaultMix mix = FaultMix::only(FaultKind::kMessageDrop);
+  mix.process_corrupt = true;
+  EXPECT_TRUE(injector.inject_random(mix));
+  EXPECT_EQ(injector.count(FaultKind::kProcessCorrupt), 1u);
+  EXPECT_EQ(injector.count(FaultKind::kMessageDrop), 0u);
+}
+
+TEST_F(FaultInjectorTest, MixOnlyRestrictsKinds) {
+  const FaultMix mix = FaultMix::only(FaultKind::kMessageDrop);
+  EXPECT_FALSE(injector.inject_random(mix));  // nothing in flight
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});
+  EXPECT_TRUE(injector.inject_random(mix));
+  EXPECT_EQ(injector.count(FaultKind::kMessageDrop), 1u);
+  EXPECT_EQ(injector.total_injected(), 1u);
+}
+
+TEST_F(FaultInjectorTest, FaultMixEnabledKinds) {
+  EXPECT_EQ(FaultMix::all().enabled_kinds().size(), kFaultKindCount);
+  EXPECT_EQ(FaultMix::only(FaultKind::kProcessCorrupt).enabled_kinds().size(),
+            1u);
+  EXPECT_FALSE(FaultMix::channel_only().enabled(FaultKind::kProcessCorrupt));
+  EXPECT_TRUE(FaultMix::process_only().enabled(FaultKind::kProcessCorrupt));
+}
+
+TEST_F(FaultInjectorTest, FaultKindNames) {
+  EXPECT_STREQ(to_string(FaultKind::kMessageDrop), "message-drop");
+  EXPECT_STREQ(to_string(FaultKind::kProcessCorrupt), "process-corrupt");
+}
+
+}  // namespace
+}  // namespace graybox::net

@@ -1,0 +1,225 @@
+// Protocol edge cases under message-level anomalies: duplication, stale
+// replays, and cross-ordering that the fault model can produce. Handlers
+// must stay total and the healing rules must not overreact to replayed
+// evidence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "me/lamport.hpp"
+#include "me/ricart_agrawala.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox::me {
+namespace {
+
+template <typename Impl>
+class EdgeRig {
+ public:
+  EdgeRig() : net(sched, 3, net::DelayModel::fixed(1), Rng(5)) {
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      procs.push_back(std::make_unique<Impl>(pid, net));
+      auto* p = procs.back().get();
+      net.set_handler(pid,
+                      [p](const net::Message& m) { p->on_message(m); });
+    }
+  }
+  Impl& p(ProcessId pid) { return *procs[pid]; }
+  void settle() { sched.run_all(); }
+
+  net::Message msg(net::MsgType type, ProcessId from, ProcessId to,
+                   clk::Timestamp ts) {
+    net::Message m;
+    m.type = type;
+    m.from = from;
+    m.to = to;
+    m.ts = ts;
+    return m;
+  }
+
+  sim::Scheduler sched;
+  net::Network net;
+  std::vector<std::unique_ptr<Impl>> procs;
+};
+
+// --- Ricart-Agrawala ---------------------------------------------------------
+
+using RaEdge = EdgeRig<RicartAgrawala>;
+
+TEST(RaEdges, DuplicatedRequestGetsDuplicatedReplyHarmlessly) {
+  RaEdge rig;
+  rig.p(1).request_cs();
+  const auto req1 = rig.p(1).req();
+  rig.settle();
+  const auto replies_before = rig.net.sent_of_type(net::MsgType::kReply);
+  // Replay 1's original request at 0 (duplication fault).
+  rig.p(0).on_message(
+      rig.msg(net::MsgType::kRequest, 1, 0, req1));
+  rig.settle();
+  // 0 answered again (Reply Spec: each received earlier request is
+  // answered); 1's state is unaffected by the extra reply.
+  EXPECT_GT(rig.net.sent_of_type(net::MsgType::kReply), replies_before);
+  EXPECT_TRUE(rig.p(1).eating());
+  rig.p(1).release_cs();
+  rig.settle();
+  EXPECT_TRUE(rig.p(1).thinking());
+}
+
+TEST(RaEdges, StaleReplayedRequestIsOvertakenByNextGenuineOne) {
+  RaEdge rig;
+  // Full cycle by 1 so 0 holds 1's old request timestamp.
+  rig.p(1).request_cs();
+  const auto old_req = rig.p(1).req();
+  rig.settle();
+  rig.p(1).release_cs();
+  rig.settle();
+  // Replay the stale request: 0's view of 1 temporarily regresses...
+  rig.p(0).on_message(rig.msg(net::MsgType::kRequest, 1, 0, old_req));
+  EXPECT_EQ(rig.p(0).view_of(1), old_req);
+  // ...and the next genuine request overwrites it (direct assignment).
+  rig.p(1).request_cs();
+  const auto new_req = rig.p(1).req();
+  rig.settle();
+  EXPECT_EQ(rig.p(0).view_of(1), new_req);
+  EXPECT_TRUE(clk::lt(old_req, new_req));
+}
+
+TEST(RaEdges, ReplayedStaleReplyCannotUnblockEarlierRequest) {
+  RaEdge rig;
+  // 0 and 1 contend; 0 wins (earlier timestamp).
+  rig.p(0).request_cs();
+  rig.p(1).request_cs();
+  rig.settle();
+  ASSERT_TRUE(rig.p(0).eating());
+  ASSERT_TRUE(rig.p(1).hungry());
+  // Replay 0's pre-contention reply to 1 (a stale "go ahead"): its
+  // timestamp is below 1's request, so it cannot satisfy knows_earlier.
+  rig.p(1).on_message(
+      rig.msg(net::MsgType::kReply, 0, 1, clk::Timestamp{1, 0}));
+  rig.p(1).poll();
+  EXPECT_TRUE(rig.p(1).hungry());  // still correctly blocked
+}
+
+TEST(RaEdges, SimultaneousContentionAmongThree) {
+  RaEdge rig;
+  rig.p(0).request_cs();
+  rig.p(1).request_cs();
+  rig.p(2).request_cs();
+  // All three have counter 1; pid breaks ties: order must be 0, 1, 2.
+  for (ProcessId expected = 0; expected < 3; ++expected) {
+    rig.settle();
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      EXPECT_EQ(rig.p(pid).eating(), pid == expected) << "round " << expected;
+    }
+    rig.p(expected).release_cs();
+  }
+  rig.settle();
+  for (ProcessId pid = 0; pid < 3; ++pid) EXPECT_TRUE(rig.p(pid).thinking());
+}
+
+// --- Lamport --------------------------------------------------------------------
+
+using LamportEdge = EdgeRig<LamportMe>;
+
+TEST(LamportEdges, DuplicateReleaseIsIdempotent) {
+  LamportEdge rig;
+  rig.p(0).request_cs();
+  rig.settle();
+  rig.p(0).release_cs();
+  rig.settle();
+  const auto release_ts = rig.p(0).req();
+  ASSERT_TRUE(rig.p(1).queue().empty());
+  // Replayed release: nothing left to retire, no crash, queue unchanged.
+  rig.p(1).on_message(rig.msg(net::MsgType::kRelease, 0, 1, release_ts));
+  EXPECT_TRUE(rig.p(1).queue().empty());
+}
+
+TEST(LamportEdges, LateReleaseCannotRetireNewerRequest) {
+  LamportEdge rig;
+  // Cycle 1: request + release, but hold the release's timestamp.
+  rig.p(0).request_cs();
+  rig.settle();
+  rig.p(0).release_cs();
+  rig.settle();
+  const auto old_release_ts = rig.p(0).req();
+  // Cycle 2's request lands at 1...
+  rig.p(0).request_cs();
+  const auto new_req = rig.p(0).req();
+  rig.settle();
+  bool found = false;
+  for (const auto& e : rig.p(1).queue())
+    if (e.pid == 0 && e.ts == new_req) found = true;
+  ASSERT_TRUE(found);
+  // ...and a duplicated OLD release arrives late: the newer entry stays
+  // (retirement only removes entries strictly older than the evidence).
+  rig.p(1).on_message(
+      rig.msg(net::MsgType::kRelease, 0, 1, old_release_ts));
+  found = false;
+  for (const auto& e : rig.p(1).queue())
+    if (e.pid == 0 && e.ts == new_req) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(LamportEdges, ReplayedOldRequestRegressesThenHeals) {
+  LamportEdge rig;
+  rig.p(0).request_cs();
+  const auto old_req = rig.p(0).req();
+  rig.settle();
+  rig.p(0).release_cs();
+  rig.settle();
+  // Replay the old request: modification 1 (one entry per process) admits
+  // it as 0's "current" request...
+  rig.p(1).on_message(rig.msg(net::MsgType::kRequest, 0, 1, old_req));
+  EXPECT_EQ(rig.p(1).view_of(0), old_req);
+  // ...but the reply that 1 just sent is answered by nothing; the heal
+  // comes from 0's next genuine request replacing the entry.
+  rig.p(0).request_cs();
+  const auto new_req = rig.p(0).req();
+  rig.settle();
+  EXPECT_EQ(rig.p(1).view_of(0), new_req);
+  EXPECT_TRUE(rig.p(0).eating());
+}
+
+TEST(LamportEdges, RequestArrivingDuringEatingDefersViaQueue) {
+  LamportEdge rig;
+  rig.p(0).request_cs();
+  rig.settle();
+  ASSERT_TRUE(rig.p(0).eating());
+  rig.p(1).request_cs();
+  rig.settle();
+  // 1 is doubly blocked: by 0's queue entry, and by the grant — 0's reply
+  // carries its (earlier) outstanding REQ, which cannot acknowledge a
+  // later request. The idle peer 2 grants immediately.
+  EXPECT_TRUE(rig.p(1).hungry());
+  EXPECT_FALSE(rig.p(1).granted(0));
+  EXPECT_TRUE(rig.p(1).granted(2));
+  // The release message carries 0's fresh post-release REQ: it retires the
+  // queue entry AND supplies the grant in one stroke.
+  rig.p(0).release_cs();
+  rig.settle();
+  EXPECT_TRUE(rig.p(1).eating());
+}
+
+TEST(LamportEdges, SimultaneousContentionAmongThree) {
+  LamportEdge rig;
+  rig.p(0).request_cs();
+  rig.p(1).request_cs();
+  rig.p(2).request_cs();
+  for (ProcessId expected = 0; expected < 3; ++expected) {
+    rig.settle();
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      EXPECT_EQ(rig.p(pid).eating(), pid == expected) << "round " << expected;
+    }
+    rig.p(expected).release_cs();
+  }
+  rig.settle();
+  for (ProcessId pid = 0; pid < 3; ++pid) {
+    EXPECT_TRUE(rig.p(pid).thinking());
+    EXPECT_TRUE(rig.p(pid).queue().empty());
+  }
+}
+
+}  // namespace
+}  // namespace graybox::me

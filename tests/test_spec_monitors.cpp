@@ -1,0 +1,304 @@
+// Unit tests for the generic UNITY monitor framework, driven with a simple
+// integer snapshot type.
+#include <gtest/gtest.h>
+
+#include "spec/monitor.hpp"
+#include "spec/unity.hpp"
+
+namespace graybox::spec {
+namespace {
+
+struct IntState {
+  int x = 0;
+};
+
+using Set = MonitorSet<IntState>;
+
+void feed(Set& set, std::initializer_list<int> values, SimTime start = 0) {
+  SimTime t = start;
+  for (const int v : values) set.observe(t++, IntState{v});
+}
+
+Pred<IntState> equals(int v) {
+  return [v](const IntState& s) { return s.x == v; };
+}
+Pred<IntState> at_least(int v) {
+  return [v](const IntState& s) { return s.x >= v; };
+}
+
+// --- Unless ---------------------------------------------------------------
+
+TEST(UnlessMonitor, HoldsWhenPPersists) {
+  Set set;
+  auto& m = set.add<UnlessMonitor<IntState>>("u", at_least(1), equals(99));
+  feed(set, {1, 2, 3});
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(UnlessMonitor, HoldsWhenQTakesOver) {
+  Set set;
+  auto& m = set.add<UnlessMonitor<IntState>>("u", equals(1), equals(99));
+  feed(set, {1, 99, 0});
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(UnlessMonitor, ViolatedWhenBothFall) {
+  Set set;
+  auto& m = set.add<UnlessMonitor<IntState>>("u", equals(1), equals(99));
+  feed(set, {1, 5});
+  EXPECT_FALSE(m.clean());
+  EXPECT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.last_violation(), 1u);
+}
+
+TEST(UnlessMonitor, NotTriggeredWhenPNeverHolds) {
+  Set set;
+  auto& m = set.add<UnlessMonitor<IntState>>("u", equals(1), equals(99));
+  feed(set, {5, 6, 7});
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(UnlessMonitor, QAlreadyTrueDisablesObligation) {
+  // p /\ q in the current state: "p unless q" says nothing about the next.
+  Set set;
+  auto& m = set.add<UnlessMonitor<IntState>>("u", at_least(99), equals(99));
+  feed(set, {99, 0});
+  EXPECT_TRUE(m.clean());
+}
+
+// --- Stable ----------------------------------------------------------------
+
+TEST(StableMonitor, CleanWhilePredicatePersists) {
+  Set set;
+  auto& m = set.add<StableMonitor<IntState>>("s", at_least(1));
+  feed(set, {0, 1, 2, 3});
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(StableMonitor, ViolatedWhenPredicateFalls) {
+  Set set;
+  auto& m = set.add<StableMonitor<IntState>>("s", at_least(2));
+  feed(set, {3, 4, 1});
+  EXPECT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.last_violation(), 2u);
+}
+
+TEST(StableMonitor, EachFallReported) {
+  Set set;
+  auto& m = set.add<StableMonitor<IntState>>("s", at_least(2));
+  feed(set, {3, 1, 3, 1});
+  EXPECT_EQ(m.total_violations(), 2u);
+}
+
+// --- Invariant ----------------------------------------------------------------
+
+TEST(InvariantMonitor, ChecksFirstState) {
+  Set set;
+  auto& m = set.add<InvariantMonitor<IntState>>("i", at_least(1));
+  feed(set, {0});
+  EXPECT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.first_violation(), 0u);
+}
+
+TEST(InvariantMonitor, ChecksEveryState) {
+  Set set;
+  auto& m = set.add<InvariantMonitor<IntState>>("i", at_least(1));
+  feed(set, {1, 0, 1, 0});
+  EXPECT_EQ(m.total_violations(), 2u);
+}
+
+TEST(InvariantMonitor, CleanRun) {
+  Set set;
+  auto& m = set.add<InvariantMonitor<IntState>>("i", at_least(0));
+  feed(set, {0, 5, 3});
+  EXPECT_TRUE(m.clean());
+}
+
+// --- LeadsTo -------------------------------------------------------------------
+
+TEST(LeadsToMonitor, DischargedObligationIsClean) {
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", equals(1), equals(2));
+  feed(set, {0, 1, 0, 2});
+  set.finish(10);
+  EXPECT_TRUE(m.clean());
+  EXPECT_EQ(m.discharged(), 1u);
+}
+
+TEST(LeadsToMonitor, UndischargedReportedAtOpenTime) {
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", equals(1), equals(2));
+  feed(set, {0, 0, 1, 0});
+  set.finish(10);
+  EXPECT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.last_violation(), 2u);  // time p first held
+}
+
+TEST(LeadsToMonitor, PAndQSimultaneouslyDischarges) {
+  // "then or later" includes "then": a state satisfying both opens and
+  // immediately discharges.
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", at_least(2), at_least(2));
+  feed(set, {0, 5});
+  set.finish(10);
+  EXPECT_TRUE(m.clean());
+  EXPECT_EQ(m.discharged(), 1u);
+}
+
+TEST(LeadsToMonitor, RepeatedCycles) {
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", equals(1), equals(2));
+  feed(set, {1, 2, 1, 2, 1, 2});
+  set.finish(10);
+  EXPECT_EQ(m.discharged(), 3u);
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(LeadsToMonitor, ObligationOpenQuery) {
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", equals(1), equals(2));
+  feed(set, {0, 1});
+  EXPECT_TRUE(m.obligation_open());
+  feed(set, {2}, 2);
+  EXPECT_FALSE(m.obligation_open());
+}
+
+TEST(LeadsToMonitor, BeginStateCanOpen) {
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", equals(1), equals(2));
+  feed(set, {1});
+  EXPECT_TRUE(m.obligation_open());
+  set.finish(5);
+  EXPECT_EQ(m.total_violations(), 1u);
+}
+
+// --- LeadsToAlways -----------------------------------------------------------
+
+TEST(LeadsToAlwaysMonitor, CleanWhenQReachedAndStable) {
+  Set set;
+  auto& m =
+      set.add<LeadsToAlwaysMonitor<IntState>>("la", equals(1), at_least(2));
+  feed(set, {0, 1, 2, 3, 4});
+  set.finish(10);
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(LeadsToAlwaysMonitor, ViolatedWhenQFallsAfterReached) {
+  Set set;
+  auto& m =
+      set.add<LeadsToAlwaysMonitor<IntState>>("la", equals(1), at_least(2));
+  feed(set, {1, 2, 0});
+  set.finish(10);
+  EXPECT_FALSE(m.clean());
+}
+
+TEST(LeadsToAlwaysMonitor, ViolatedWhenQNeverReached) {
+  Set set;
+  auto& m =
+      set.add<LeadsToAlwaysMonitor<IntState>>("la", equals(1), at_least(2));
+  feed(set, {1, 0, 0});
+  set.finish(10);
+  EXPECT_FALSE(m.clean());
+}
+
+// --- Transition / State monitors -------------------------------------------------
+
+TEST(TransitionMonitor, SeesPrevAndCur) {
+  Set set;
+  auto& m = set.add<TransitionMonitor<IntState>>(
+      "t", [](const IntState& prev, const IntState& cur)
+          -> std::optional<std::string> {
+        if (cur.x < prev.x) return "decreased";
+        return std::nullopt;
+      });
+  feed(set, {1, 2, 1, 3});
+  EXPECT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.last_violation(), 2u);
+}
+
+TEST(StateMonitor, ChecksEveryStateIncludingFirst) {
+  Set set;
+  auto& m = set.add<StateMonitor<IntState>>(
+      "s", [](const IntState& s) -> std::optional<std::string> {
+        if (s.x % 2 != 0) return "odd";
+        return std::nullopt;
+      });
+  feed(set, {1, 2, 3});
+  EXPECT_EQ(m.total_violations(), 2u);
+}
+
+// --- MonitorSet -------------------------------------------------------------------
+
+TEST(MonitorSet, AggregatesAcrossMonitors) {
+  Set set;
+  set.add<InvariantMonitor<IntState>>("a", at_least(1));
+  set.add<InvariantMonitor<IntState>>("b", at_least(2));
+  feed(set, {1});
+  EXPECT_FALSE(set.clean());
+  EXPECT_EQ(set.total_violations(), 1u);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.all_violations().size(), 1u);
+  EXPECT_EQ(set.all_violations()[0].clause, "b");
+}
+
+TEST(MonitorSet, LastViolationAcrossMonitors) {
+  Set set;
+  set.add<StableMonitor<IntState>>("a", at_least(2));
+  set.add<InvariantMonitor<IntState>>("b", at_least(0));
+  feed(set, {2, 1, -1, 0});
+  EXPECT_EQ(set.last_violation(), 2u);  // the b violation at t=2
+}
+
+TEST(MonitorSet, CleanWhenNoViolation) {
+  Set set;
+  set.add<InvariantMonitor<IntState>>("a", at_least(0));
+  feed(set, {0, 1});
+  EXPECT_TRUE(set.clean());
+  EXPECT_EQ(set.last_violation(), kNever);
+}
+
+TEST(MonitorSet, FinishIsIdempotent) {
+  Set set;
+  auto& m = set.add<LeadsToMonitor<IntState>>("l", equals(1), equals(2));
+  feed(set, {1});
+  set.finish(5);
+  set.finish(6);
+  EXPECT_EQ(m.total_violations(), 1u);
+}
+
+TEST(MonitorSet, ObservedStatesCounted) {
+  Set set;
+  feed(set, {1, 2, 3});
+  EXPECT_EQ(set.observed_states(), 3u);
+}
+
+// --- Violation caps ------------------------------------------------------------
+
+TEST(MonitorBase, RetentionCapKeepsExactCounters) {
+  Set set;
+  auto& m = set.add<InvariantMonitor<IntState>>("i", at_least(1));
+  for (int i = 0; i < 1000; ++i) set.observe(static_cast<SimTime>(i),
+                                             IntState{0});
+  EXPECT_EQ(m.total_violations(), 1000u);
+  EXPECT_LE(m.violations().size(), 256u);
+  EXPECT_EQ(m.last_violation(), 999u);
+  EXPECT_EQ(m.first_violation(), 0u);
+}
+
+// --- Violation helpers ------------------------------------------------------------
+
+TEST(ViolationHelpers, LastTimeAndCountAfter) {
+  std::vector<Violation> vs{{5, "a", ""}, {9, "b", ""}, {2, "c", ""}};
+  EXPECT_EQ(last_violation_time(vs), 9u);
+  EXPECT_EQ(violations_at_or_after(vs, 5), 2u);
+  EXPECT_EQ(violations_at_or_after(vs, 10), 0u);
+  EXPECT_EQ(last_violation_time({}), kNever);
+}
+
+TEST(ViolationHelpers, ToString) {
+  const Violation v{7, "ME1", "two eaters"};
+  EXPECT_EQ(v.to_string(), "[7] ME1: two eaters");
+}
+
+}  // namespace
+}  // namespace graybox::spec

@@ -1,0 +1,228 @@
+// Unit and property tests for the Section 6 extension: masking, fail-safe,
+// and nonmasking tolerance over explicit fault relations, and the graybox
+// transfer of wrapper-added tolerance to everywhere implementations.
+#include <gtest/gtest.h>
+
+#include "algebra/checks.hpp"
+#include "algebra/generate.hpp"
+#include "algebra/tolerance.hpp"
+
+namespace graybox::algebra {
+namespace {
+
+// A small running specification: ring 0 -> 1 -> 2 -> 0, initial {0},
+// recurrent {0} ("the token returns to the root infinitely often").
+LiveSpec ring_spec() {
+  System safety(4);
+  safety.add_transition(0, 1);
+  safety.add_transition(1, 2);
+  safety.add_transition(2, 0);
+  safety.add_transition(3, 0);  // recovery edge allowed by the spec
+  safety.set_initial(0);
+  LiveSpec spec;
+  spec.recurrent = Bitset(4);
+  spec.recurrent.set(0);
+  spec.safety = safety;
+  return spec;
+}
+
+System ring_impl() {
+  System c(4);
+  c.add_transition(0, 1);
+  c.add_transition(1, 2);
+  c.add_transition(2, 0);
+  c.add_transition(3, 0);
+  c.set_initial(0);
+  return c;
+}
+
+System no_faults() { return System(4); }
+
+TEST(LiveSpec, TrivialMakesEveryStateRecurrent) {
+  const LiveSpec spec = LiveSpec::trivial(ring_impl());
+  EXPECT_EQ(spec.recurrent.count(), 4u);
+}
+
+TEST(WithFaults, UnionsRelationsKeepsInit) {
+  System f(4);
+  f.add_transition(0, 3);
+  const System perturbed = with_faults(ring_impl(), f);
+  EXPECT_TRUE(perturbed.has_transition(0, 3));
+  EXPECT_TRUE(perturbed.has_transition(0, 1));
+  EXPECT_TRUE(perturbed.is_initial(0));
+  EXPECT_FALSE(perturbed.is_initial(3));
+}
+
+TEST(Masking, HoldsWithNoFaults) {
+  EXPECT_TRUE(masking_tolerant(ring_impl(), no_faults(), ring_spec()));
+  EXPECT_TRUE(failsafe_tolerant(ring_impl(), no_faults(), ring_spec()));
+}
+
+TEST(Masking, HoldsWhenFaultEdgesAreSpecEdges) {
+  // A "fault" that jumps 3 -> 0 is an edge the spec itself allows: the
+  // perturbed computations still implement the spec.
+  System f(4);
+  f.add_transition(3, 0);
+  EXPECT_TRUE(masking_tolerant(ring_impl(), f, ring_spec()));
+}
+
+TEST(Masking, FailsWhenFaultLeavesSafety) {
+  // Fault edge 1 -> 3 is not a safety edge: the observed computation
+  // violates the spec outright — no masking, no fail-safe.
+  System f(4);
+  f.add_transition(1, 3);
+  EXPECT_FALSE(failsafe_tolerant(ring_impl(), f, ring_spec()));
+  EXPECT_FALSE(masking_tolerant(ring_impl(), f, ring_spec()));
+}
+
+TEST(Masking, LivenessSeparatesMaskingFromFailsafe) {
+  // Give the implementation a safety-allowed stutter cycle away from the
+  // recurrent state: safety still holds under faults (fail-safe), but the
+  // computation can starve the recurrence obligation (no masking).
+  LiveSpec spec = ring_spec();
+  spec.safety.add_transition(1, 1);  // spec tolerates stuttering at 1...
+  System c = ring_impl();
+  c.add_transition(1, 1);  // ...and the implementation may loop there
+  EXPECT_TRUE(failsafe_tolerant(c, no_faults(), spec));
+  EXPECT_FALSE(masking_tolerant(c, no_faults(), spec));
+}
+
+TEST(Masking, FaultReachableCyclesCount) {
+  // The starving cycle sits in a region only reachable THROUGH a fault:
+  // masking fails once the fault relation exposes it. Both the perturbing
+  // jump 0 -> 3 and the stutter 3 -> 3 are safety-allowed, so fail-safe
+  // survives while masking loses its liveness half.
+  LiveSpec spec = ring_spec();
+  spec.safety.add_transition(0, 3);
+  spec.safety.add_transition(3, 3);
+  System c = ring_impl();
+  c.add_transition(3, 3);
+  // Without faults state 3 is unreachable from init: masking holds.
+  EXPECT_TRUE(masking_tolerant(c, no_faults(), spec));
+  System f(4);
+  f.add_transition(0, 3);
+  EXPECT_TRUE(failsafe_tolerant(c, f, spec));
+  EXPECT_FALSE(masking_tolerant(c, f, spec));
+}
+
+TEST(Nonmasking, RingWithRecoveryIsNonmasking) {
+  EXPECT_TRUE(nonmasking_tolerant(ring_impl(), ring_spec()));
+}
+
+TEST(Nonmasking, FailsWithoutConvergence) {
+  // Replace the recovery edge with a self-loop at 3: computations starting
+  // there never rejoin the spec.
+  System c = ring_impl();
+  c.remove_transition(3, 0);
+  c.add_transition(3, 3);
+  EXPECT_FALSE(nonmasking_tolerant(c, ring_spec()));
+}
+
+TEST(Nonmasking, FailsWhenConvergedSuffixStarvesRecurrence) {
+  LiveSpec spec = ring_spec();
+  spec.safety.add_transition(1, 1);
+  System c = ring_impl();
+  c.add_transition(1, 1);
+  EXPECT_TRUE(stabilizes_to(c, spec.safety));
+  EXPECT_FALSE(nonmasking_tolerant(c, spec));
+}
+
+TEST(Nonmasking, TrivialLivenessReducesToStabilization) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const System a = random_system(rng, {});
+    const System c = random_everywhere_implementation(rng, a);
+    const LiveSpec spec = LiveSpec::trivial(a);
+    EXPECT_EQ(nonmasking_tolerant(c, spec), stabilizes_to(c, a));
+  }
+}
+
+// --- Graybox transfer (the Section 6 claim) --------------------------------
+
+class ToleranceSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng{GetParam()};
+  static constexpr int kTrials = 300;
+};
+
+TEST_P(ToleranceSweep, MaskingTransfersToEverywhereImplementations) {
+  // If A boxed with wrapper W is masking tolerant to spec under F, then so
+  // is C boxed with W' for every [C => A] and [W' => W] — same shape as
+  // Theorem 1, decided with the masking procedure.
+  int premise_held = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(6);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, rng.index(6));
+    const System aw = System::box(a, w);
+
+    LiveSpec spec;
+    spec.safety = aw;  // the wrapped spec system itself as safety envelope
+    spec.recurrent = Bitset(a.num_states());
+    spec.recurrent.fill();
+
+    const System f =
+        random_fault_relation(rng, a.num_states(), 1 + rng.index(4));
+    if (!masking_tolerant(aw, f, spec)) continue;
+    ++premise_held;
+
+    const System c = random_everywhere_implementation(rng, a);
+    const System wi = random_everywhere_implementation(rng, w);
+    System cw = System::box(c, wi);
+    if (!cw.initial().any()) continue;
+    EXPECT_TRUE(masking_tolerant(cw, f, spec));
+    EXPECT_TRUE(failsafe_tolerant(cw, f, spec));
+  }
+  EXPECT_GT(premise_held, 0);
+}
+
+TEST_P(ToleranceSweep, FailsafeTransfersToEverywhereImplementations) {
+  int premise_held = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(6);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, rng.index(6));
+    const System aw = System::box(a, w);
+    LiveSpec spec = LiveSpec::trivial(aw);
+    const System f =
+        random_fault_relation(rng, a.num_states(), 1 + rng.index(6));
+    if (!failsafe_tolerant(aw, f, spec)) continue;
+    ++premise_held;
+    const System c = random_everywhere_implementation(rng, a);
+    const System wi = random_everywhere_implementation(rng, w);
+    System cw = System::box(c, wi);
+    if (!cw.initial().any()) continue;
+    EXPECT_TRUE(failsafe_tolerant(cw, f, spec));
+  }
+  EXPECT_GT(premise_held, 0);
+}
+
+TEST_P(ToleranceSweep, NonmaskingTransfersToEverywhereImplementations) {
+  int premise_held = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomSystemParams params;
+    params.num_states = 3 + rng.index(6);
+    const System a = random_system(rng, params);
+    const System w = random_wrapper(rng, a, 1 + rng.index(6));
+    const System aw = System::box(a, w);
+    LiveSpec spec = LiveSpec::trivial(a);
+    if (!aw.total() || !nonmasking_tolerant(aw, spec)) continue;
+    ++premise_held;
+    const System c = random_everywhere_implementation(rng, a);
+    const System wi = random_everywhere_implementation(rng, w);
+    const System cw = System::box(c, wi);
+    EXPECT_TRUE(nonmasking_tolerant(cw, spec));
+  }
+  EXPECT_GT(premise_held, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ToleranceSweep,
+                         ::testing::Values(2u, 4u, 6u, 8u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace graybox::algebra

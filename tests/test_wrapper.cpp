@@ -1,0 +1,187 @@
+// Unit tests for the graybox wrapper W' — guard evaluation, refinement,
+// timeout behaviour, and the Section 4 repairs in isolation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "me/lamport.hpp"
+#include "me/ricart_agrawala.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "wrapper/graybox_wrapper.hpp"
+
+namespace graybox::wrapper {
+namespace {
+
+using me::RicartAgrawala;
+using me::TmeState;
+
+class WrapperTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 3;
+
+  WrapperTest() : net(sched, kN, net::DelayModel::fixed(1), Rng(5)) {
+    for (ProcessId pid = 0; pid < kN; ++pid) {
+      procs.push_back(std::make_unique<RicartAgrawala>(pid, net));
+      auto* p = procs.back().get();
+      net.set_handler(pid,
+                      [p](const net::Message& m) { p->on_message(m); });
+    }
+  }
+
+  RicartAgrawala& p(ProcessId pid) { return *procs[pid]; }
+
+  sim::Scheduler sched;
+  net::Network net;
+  std::vector<std::unique_ptr<RicartAgrawala>> procs;
+};
+
+TEST_F(WrapperTest, IdleWhileThinking) {
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 10});
+  w.start();
+  sched.run_until(200);
+  EXPECT_EQ(w.resends(), 0u);
+  EXPECT_GT(w.evaluations(), 0u);
+}
+
+TEST_F(WrapperTest, IdleWhileEating) {
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 10});
+  p(0).request_cs();
+  sched.run_all();
+  ASSERT_TRUE(p(0).eating());
+  w.start();
+  sched.run_until(200);
+  EXPECT_EQ(w.resends(), 0u);
+}
+
+TEST_F(WrapperTest, ResendsOnlyToStalePeers) {
+  // Hungry with one favorable view and one stale: the refined W sends only
+  // to the stale peer.
+  p(0).fault_set_state(TmeState::kHungry);
+  p(0).fault_set_req(clk::Timestamp{10, 0});
+  p(0).fault_set_view(1, clk::Timestamp{50, 1});  // knows_earlier(1)
+  p(0).fault_set_view(2, clk::Timestamp{1, 2});   // stale
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 10});
+  w.evaluate();
+  EXPECT_EQ(w.resends(), 1u);
+  EXPECT_EQ(net.channel(0, 2).in_flight(), 1u);
+  EXPECT_EQ(net.channel(0, 1).in_flight(), 0u);
+  // The resent message is a REQUEST carrying REQj, tagged as wrapper
+  // traffic.
+  const auto& msg = net.channel(0, 2).contents().front();
+  EXPECT_EQ(msg.type, net::MsgType::kRequest);
+  EXPECT_EQ(msg.ts, (clk::Timestamp{10, 0}));
+  EXPECT_TRUE(msg.from_wrapper);
+}
+
+TEST_F(WrapperTest, UnrefinedVariantSendsToAll) {
+  p(0).fault_set_state(TmeState::kHungry);
+  p(0).fault_set_req(clk::Timestamp{10, 0});
+  p(0).fault_set_view(1, clk::Timestamp{50, 1});
+  p(0).fault_set_view(2, clk::Timestamp{1, 2});
+  GrayboxWrapper w(sched, net, p(0),
+                   {.resend_period = 10, .unrefined_send_all = true});
+  w.evaluate();
+  EXPECT_EQ(w.resends(), 2u);
+}
+
+TEST_F(WrapperTest, PeriodGovernsEvaluationRate) {
+  GrayboxWrapper slow(sched, net, p(0), {.resend_period = 50});
+  GrayboxWrapper fast(sched, net, p(1), {.resend_period = 5});
+  slow.start();
+  fast.start();
+  sched.run_until(100);
+  EXPECT_EQ(slow.evaluations(), 2u);
+  EXPECT_EQ(fast.evaluations(), 20u);
+}
+
+TEST_F(WrapperTest, ZeroPeriodIsMaximalRate) {
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 0});
+  w.start();
+  sched.run_until(10);
+  EXPECT_EQ(w.evaluations(), 10u);  // once per tick
+}
+
+TEST_F(WrapperTest, StopDisarms) {
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 10});
+  w.start();
+  sched.run_until(20);
+  w.stop();
+  const auto evals = w.evaluations();
+  sched.run_until(200);
+  EXPECT_EQ(w.evaluations(), evals);
+  EXPECT_FALSE(w.running());
+}
+
+TEST_F(WrapperTest, RepairsDroppedRequestScenario) {
+  // Section 4's deadlock, in miniature: 0 requests but the requests are
+  // lost. Without the wrapper nothing ever moves; with it the resend
+  // triggers the replies and 0 enters.
+  p(0).request_cs();
+  net.channel(0, 1).fault_clear();
+  net.channel(0, 2).fault_clear();
+  sched.run_all();
+  ASSERT_TRUE(p(0).hungry());  // wedged without the wrapper
+
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 10});
+  w.start();
+  sched.run_until(50);
+  EXPECT_TRUE(p(0).eating());
+  EXPECT_GT(w.resends(), 0u);
+}
+
+TEST_F(WrapperTest, StopsResendingOnceConsistent) {
+  p(0).request_cs();
+  net.channel(0, 1).fault_clear();
+  net.channel(0, 2).fault_clear();
+  GrayboxWrapper w(sched, net, p(0), {.resend_period = 10});
+  w.start();
+  sched.run_until(60);
+  ASSERT_TRUE(p(0).eating());
+  const auto resends = w.resends();
+  sched.run_until(600);
+  // Eating (and later thinking) disables the guard: no further traffic.
+  EXPECT_EQ(w.resends(), resends);
+}
+
+TEST_F(WrapperTest, GrayboxAcrossImplementations) {
+  // The SAME wrapper code drives a Lamport process through the identical
+  // repair — byte-for-byte reuse across implementations (Corollary 11).
+  sim::Scheduler sched2;
+  net::Network net2(sched2, 2, net::DelayModel::fixed(1), Rng(6));
+  me::LamportMe a(0, net2), b(1, net2);
+  net2.set_handler(0, [&](const net::Message& m) { a.on_message(m); });
+  net2.set_handler(1, [&](const net::Message& m) { b.on_message(m); });
+  a.request_cs();
+  net2.channel(0, 1).fault_clear();
+  sched2.run_all();
+  ASSERT_TRUE(a.hungry());
+  GrayboxWrapper w(sched2, net2, a, {.resend_period = 10});
+  w.start();
+  sched2.run_until(100);
+  EXPECT_TRUE(a.eating());
+}
+
+TEST_F(WrapperTest, MutualDeadlockRepairedByPairOfWrappers) {
+  // The paper's two-process mutual inconsistency: both hungry, both
+  // request messages lost, each waiting for the other.
+  p(0).request_cs();
+  p(1).request_cs();
+  net.channel(0, 1).fault_clear();
+  net.channel(1, 0).fault_clear();
+  sched.run_all();
+  ASSERT_TRUE(p(0).hungry());
+  ASSERT_TRUE(p(1).hungry());
+
+  GrayboxWrapper w0(sched, net, p(0), {.resend_period = 10});
+  GrayboxWrapper w1(sched, net, p(1), {.resend_period = 10});
+  w0.start();
+  w1.start();
+  sched.run_until(100);
+  // The earlier request won; after its holder releases, the other follows.
+  EXPECT_TRUE(p(0).eating() || p(1).eating());
+}
+
+}  // namespace
+}  // namespace graybox::wrapper

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_counterexample.dir/bench/bench_fig1_counterexample.cpp.o"
+  "CMakeFiles/bench_fig1_counterexample.dir/bench/bench_fig1_counterexample.cpp.o.d"
+  "bench/bench_fig1_counterexample"
+  "bench/bench_fig1_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

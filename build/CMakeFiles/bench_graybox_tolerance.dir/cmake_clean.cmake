@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graybox_tolerance.dir/bench/bench_graybox_tolerance.cpp.o"
+  "CMakeFiles/bench_graybox_tolerance.dir/bench/bench_graybox_tolerance.cpp.o.d"
+  "bench/bench_graybox_tolerance"
+  "bench/bench_graybox_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graybox_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reusability.dir/bench/bench_reusability.cpp.o"
+  "CMakeFiles/bench_reusability.dir/bench/bench_reusability.cpp.o.d"
+  "bench/bench_reusability"
+  "bench/bench_reusability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reusability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

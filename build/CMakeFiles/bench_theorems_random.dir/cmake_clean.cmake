@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorems_random.dir/bench/bench_theorems_random.cpp.o"
+  "CMakeFiles/bench_theorems_random.dir/bench/bench_theorems_random.cpp.o.d"
+  "bench/bench_theorems_random"
+  "bench/bench_theorems_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorems_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_source_wrapping.dir/closed_source_wrapping.cpp.o"
+  "CMakeFiles/closed_source_wrapping.dir/closed_source_wrapping.cpp.o.d"
+  "closed_source_wrapping"
+  "closed_source_wrapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_source_wrapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

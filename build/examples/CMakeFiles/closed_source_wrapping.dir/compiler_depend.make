@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for closed_source_wrapping.
+# This may be replaced when dependencies are built.

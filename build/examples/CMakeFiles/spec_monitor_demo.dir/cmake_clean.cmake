@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_monitor_demo.dir/spec_monitor_demo.cpp.o"
+  "CMakeFiles/spec_monitor_demo.dir/spec_monitor_demo.cpp.o.d"
+  "spec_monitor_demo"
+  "spec_monitor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_monitor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/bitset.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/bitset.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/bitset.cpp.o.d"
+  "/root/repo/src/algebra/checks.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/checks.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/checks.cpp.o.d"
+  "/root/repo/src/algebra/generate.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/generate.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/generate.cpp.o.d"
+  "/root/repo/src/algebra/scc.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/scc.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/scc.cpp.o.d"
+  "/root/repo/src/algebra/synthesis.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/synthesis.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/synthesis.cpp.o.d"
+  "/root/repo/src/algebra/system.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/system.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/system.cpp.o.d"
+  "/root/repo/src/algebra/tolerance.cpp" "src/algebra/CMakeFiles/gbx_algebra.dir/tolerance.cpp.o" "gcc" "src/algebra/CMakeFiles/gbx_algebra.dir/tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

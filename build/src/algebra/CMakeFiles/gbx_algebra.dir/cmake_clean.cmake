@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_algebra.dir/bitset.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/bitset.cpp.o.d"
+  "CMakeFiles/gbx_algebra.dir/checks.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/checks.cpp.o.d"
+  "CMakeFiles/gbx_algebra.dir/generate.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/generate.cpp.o.d"
+  "CMakeFiles/gbx_algebra.dir/scc.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/scc.cpp.o.d"
+  "CMakeFiles/gbx_algebra.dir/synthesis.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/synthesis.cpp.o.d"
+  "CMakeFiles/gbx_algebra.dir/system.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/system.cpp.o.d"
+  "CMakeFiles/gbx_algebra.dir/tolerance.cpp.o"
+  "CMakeFiles/gbx_algebra.dir/tolerance.cpp.o.d"
+  "libgbx_algebra.a"
+  "libgbx_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/logical_clock.cpp" "src/clock/CMakeFiles/gbx_clock.dir/logical_clock.cpp.o" "gcc" "src/clock/CMakeFiles/gbx_clock.dir/logical_clock.cpp.o.d"
+  "/root/repo/src/clock/timestamp.cpp" "src/clock/CMakeFiles/gbx_clock.dir/timestamp.cpp.o" "gcc" "src/clock/CMakeFiles/gbx_clock.dir/timestamp.cpp.o.d"
+  "/root/repo/src/clock/vector_clock.cpp" "src/clock/CMakeFiles/gbx_clock.dir/vector_clock.cpp.o" "gcc" "src/clock/CMakeFiles/gbx_clock.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

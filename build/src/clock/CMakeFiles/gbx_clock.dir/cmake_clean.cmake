@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_clock.dir/logical_clock.cpp.o"
+  "CMakeFiles/gbx_clock.dir/logical_clock.cpp.o.d"
+  "CMakeFiles/gbx_clock.dir/timestamp.cpp.o"
+  "CMakeFiles/gbx_clock.dir/timestamp.cpp.o.d"
+  "CMakeFiles/gbx_clock.dir/vector_clock.cpp.o"
+  "CMakeFiles/gbx_clock.dir/vector_clock.cpp.o.d"
+  "libgbx_clock.a"
+  "libgbx_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

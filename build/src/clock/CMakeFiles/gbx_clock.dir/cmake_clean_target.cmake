@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgbx_clock.a"
+)

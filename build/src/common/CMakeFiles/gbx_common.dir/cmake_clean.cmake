@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_common.dir/flags.cpp.o"
+  "CMakeFiles/gbx_common.dir/flags.cpp.o.d"
+  "CMakeFiles/gbx_common.dir/rng.cpp.o"
+  "CMakeFiles/gbx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gbx_common.dir/stats.cpp.o"
+  "CMakeFiles/gbx_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gbx_common.dir/table.cpp.o"
+  "CMakeFiles/gbx_common.dir/table.cpp.o.d"
+  "libgbx_common.a"
+  "libgbx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

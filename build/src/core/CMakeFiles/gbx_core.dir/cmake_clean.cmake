@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_core.dir/experiment.cpp.o"
+  "CMakeFiles/gbx_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/gbx_core.dir/harness.cpp.o"
+  "CMakeFiles/gbx_core.dir/harness.cpp.o.d"
+  "CMakeFiles/gbx_core.dir/stabilization.cpp.o"
+  "CMakeFiles/gbx_core.dir/stabilization.cpp.o.d"
+  "libgbx_core.a"
+  "libgbx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

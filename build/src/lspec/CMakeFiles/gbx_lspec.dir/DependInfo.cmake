@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lspec/lspec_clause_monitors.cpp" "src/lspec/CMakeFiles/gbx_lspec.dir/lspec_clause_monitors.cpp.o" "gcc" "src/lspec/CMakeFiles/gbx_lspec.dir/lspec_clause_monitors.cpp.o.d"
+  "/root/repo/src/lspec/program_monitors.cpp" "src/lspec/CMakeFiles/gbx_lspec.dir/program_monitors.cpp.o" "gcc" "src/lspec/CMakeFiles/gbx_lspec.dir/program_monitors.cpp.o.d"
+  "/root/repo/src/lspec/snapshot.cpp" "src/lspec/CMakeFiles/gbx_lspec.dir/snapshot.cpp.o" "gcc" "src/lspec/CMakeFiles/gbx_lspec.dir/snapshot.cpp.o.d"
+  "/root/repo/src/lspec/tme_monitors.cpp" "src/lspec/CMakeFiles/gbx_lspec.dir/tme_monitors.cpp.o" "gcc" "src/lspec/CMakeFiles/gbx_lspec.dir/tme_monitors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gbx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/gbx_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gbx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/me/CMakeFiles/gbx_me.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/gbx_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_lspec.dir/lspec_clause_monitors.cpp.o"
+  "CMakeFiles/gbx_lspec.dir/lspec_clause_monitors.cpp.o.d"
+  "CMakeFiles/gbx_lspec.dir/program_monitors.cpp.o"
+  "CMakeFiles/gbx_lspec.dir/program_monitors.cpp.o.d"
+  "CMakeFiles/gbx_lspec.dir/snapshot.cpp.o"
+  "CMakeFiles/gbx_lspec.dir/snapshot.cpp.o.d"
+  "CMakeFiles/gbx_lspec.dir/tme_monitors.cpp.o"
+  "CMakeFiles/gbx_lspec.dir/tme_monitors.cpp.o.d"
+  "libgbx_lspec.a"
+  "libgbx_lspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_lspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/me/client.cpp" "src/me/CMakeFiles/gbx_me.dir/client.cpp.o" "gcc" "src/me/CMakeFiles/gbx_me.dir/client.cpp.o.d"
+  "/root/repo/src/me/fragile.cpp" "src/me/CMakeFiles/gbx_me.dir/fragile.cpp.o" "gcc" "src/me/CMakeFiles/gbx_me.dir/fragile.cpp.o.d"
+  "/root/repo/src/me/lamport.cpp" "src/me/CMakeFiles/gbx_me.dir/lamport.cpp.o" "gcc" "src/me/CMakeFiles/gbx_me.dir/lamport.cpp.o.d"
+  "/root/repo/src/me/ricart_agrawala.cpp" "src/me/CMakeFiles/gbx_me.dir/ricart_agrawala.cpp.o" "gcc" "src/me/CMakeFiles/gbx_me.dir/ricart_agrawala.cpp.o.d"
+  "/root/repo/src/me/tme_process.cpp" "src/me/CMakeFiles/gbx_me.dir/tme_process.cpp.o" "gcc" "src/me/CMakeFiles/gbx_me.dir/tme_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gbx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/gbx_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gbx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

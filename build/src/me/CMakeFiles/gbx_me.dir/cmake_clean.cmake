@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_me.dir/client.cpp.o"
+  "CMakeFiles/gbx_me.dir/client.cpp.o.d"
+  "CMakeFiles/gbx_me.dir/fragile.cpp.o"
+  "CMakeFiles/gbx_me.dir/fragile.cpp.o.d"
+  "CMakeFiles/gbx_me.dir/lamport.cpp.o"
+  "CMakeFiles/gbx_me.dir/lamport.cpp.o.d"
+  "CMakeFiles/gbx_me.dir/ricart_agrawala.cpp.o"
+  "CMakeFiles/gbx_me.dir/ricart_agrawala.cpp.o.d"
+  "CMakeFiles/gbx_me.dir/tme_process.cpp.o"
+  "CMakeFiles/gbx_me.dir/tme_process.cpp.o.d"
+  "libgbx_me.a"
+  "libgbx_me.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_me.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

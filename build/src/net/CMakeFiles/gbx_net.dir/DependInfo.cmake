@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/gbx_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/gbx_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/fault_injector.cpp" "src/net/CMakeFiles/gbx_net.dir/fault_injector.cpp.o" "gcc" "src/net/CMakeFiles/gbx_net.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/gbx_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/gbx_net.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gbx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/gbx_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_net.dir/channel.cpp.o"
+  "CMakeFiles/gbx_net.dir/channel.cpp.o.d"
+  "CMakeFiles/gbx_net.dir/fault_injector.cpp.o"
+  "CMakeFiles/gbx_net.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/gbx_net.dir/network.cpp.o"
+  "CMakeFiles/gbx_net.dir/network.cpp.o.d"
+  "libgbx_net.a"
+  "libgbx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

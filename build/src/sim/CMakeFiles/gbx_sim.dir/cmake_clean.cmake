@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/gbx_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gbx_sim.dir/timer.cpp.o"
+  "CMakeFiles/gbx_sim.dir/timer.cpp.o.d"
+  "CMakeFiles/gbx_sim.dir/trace.cpp.o"
+  "CMakeFiles/gbx_sim.dir/trace.cpp.o.d"
+  "libgbx_sim.a"
+  "libgbx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_spec.dir/violation.cpp.o"
+  "CMakeFiles/gbx_spec.dir/violation.cpp.o.d"
+  "libgbx_spec.a"
+  "libgbx_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

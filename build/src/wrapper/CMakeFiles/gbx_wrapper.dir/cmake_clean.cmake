@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbx_wrapper.dir/graybox_wrapper.cpp.o"
+  "CMakeFiles/gbx_wrapper.dir/graybox_wrapper.cpp.o.d"
+  "libgbx_wrapper.a"
+  "libgbx_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbx_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

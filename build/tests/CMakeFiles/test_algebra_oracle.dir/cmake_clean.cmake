@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algebra_oracle.dir/test_algebra_oracle.cpp.o"
+  "CMakeFiles/test_algebra_oracle.dir/test_algebra_oracle.cpp.o.d"
+  "test_algebra_oracle"
+  "test_algebra_oracle.pdb"
+  "test_algebra_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algebra_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algebra_theorems.dir/test_algebra_theorems.cpp.o"
+  "CMakeFiles/test_algebra_theorems.dir/test_algebra_theorems.cpp.o.d"
+  "test_algebra_theorems"
+  "test_algebra_theorems.pdb"
+  "test_algebra_theorems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algebra_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragile.dir/test_fragile.cpp.o"
+  "CMakeFiles/test_fragile.dir/test_fragile.cpp.o.d"
+  "test_fragile"
+  "test_fragile.pdb"
+  "test_fragile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lspec_clauses.dir/test_lspec_clauses.cpp.o"
+  "CMakeFiles/test_lspec_clauses.dir/test_lspec_clauses.cpp.o.d"
+  "test_lspec_clauses"
+  "test_lspec_clauses.pdb"
+  "test_lspec_clauses[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lspec_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lspec_clauses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lspec_monitors.dir/test_lspec_monitors.cpp.o"
+  "CMakeFiles/test_lspec_monitors.dir/test_lspec_monitors.cpp.o.d"
+  "test_lspec_monitors"
+  "test_lspec_monitors.pdb"
+  "test_lspec_monitors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lspec_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/test_net.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/test_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gbx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/gbx_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/lspec/CMakeFiles/gbx_lspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/me/CMakeFiles/gbx_me.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/gbx_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/gbx_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gbx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/gbx_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gbx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

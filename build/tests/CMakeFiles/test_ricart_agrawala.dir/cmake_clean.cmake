@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ricart_agrawala.dir/test_ricart_agrawala.cpp.o"
+  "CMakeFiles/test_ricart_agrawala.dir/test_ricart_agrawala.cpp.o.d"
+  "test_ricart_agrawala"
+  "test_ricart_agrawala.pdb"
+  "test_ricart_agrawala[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ricart_agrawala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ricart_agrawala.
+# This may be replaced when dependencies are built.

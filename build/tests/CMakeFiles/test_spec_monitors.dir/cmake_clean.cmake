@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_monitors.dir/test_spec_monitors.cpp.o"
+  "CMakeFiles/test_spec_monitors.dir/test_spec_monitors.cpp.o.d"
+  "test_spec_monitors"
+  "test_spec_monitors.pdb"
+  "test_spec_monitors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra_theorems[1]_include.cmake")
+include("/root/repo/build/tests/test_tolerance[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_synthesis[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_monitors[1]_include.cmake")
+include("/root/repo/build/tests/test_ricart_agrawala[1]_include.cmake")
+include("/root/repo/build/tests/test_lamport[1]_include.cmake")
+include("/root/repo/build/tests/test_client[1]_include.cmake")
+include("/root/repo/build/tests/test_wrapper[1]_include.cmake")
+include("/root/repo/build/tests/test_lspec_monitors[1]_include.cmake")
+include("/root/repo/build/tests/test_lspec_clauses[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_stabilization[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_fragile[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_heterogeneous[1]_include.cmake")
+include("/root/repo/build/tests/test_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_edges[1]_include.cmake")

@@ -8,18 +8,24 @@
 // Theorem 1 promises.
 //
 // This binary rebuilds all three systems in the finite-system algebra,
-// decides every relation exactly, and prints the verdict table. Expected:
-// row "C" shows implements-init yes / everywhere no / stabilizing NO; row
-// "C_fixed" shows yes / yes / yes.
+// decides every relation exactly, and prints the verdict table (and the
+// same verdicts as a BENCH_fig1_counterexample.json artifact — exact
+// decisions, so the file is byte-stable across runs and machines).
 #include <iostream>
 
 #include "algebra/checks.hpp"
 #include "algebra/generate.hpp"
+#include "common/flags.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace graybox;
   using namespace graybox::algebra;
+
+  Flags flags(argc, argv,
+              {{"json", "verdict artifact path (default "
+                        "BENCH_fig1_counterexample.json; '-' disables)"}});
 
   const System a = figure1_specification();
   const System c = figure1_implementation();
@@ -35,6 +41,7 @@ int main() {
   std::cout << "Everywhere implementation C_fixed (s* repaired):\n"
             << fixed.to_string(names) << "\n";
 
+  report::Json cells = report::Json::array();
   Table table({"system", "[X => A]init", "[X => A] everywhere",
                "stabilizes to A", "bad-step bound"});
   auto row = [&](const char* name, const System& x) {
@@ -44,6 +51,16 @@ int main() {
     table.row(name, init, everywhere, stab,
               stab ? std::to_string(stabilization_bad_step_bound(x, a))
                    : std::string("-"));
+    report::Json cell = report::Json::object();
+    cell["name"] = name;
+    cell["implements_init"] = init;
+    cell["implements_everywhere"] = everywhere;
+    cell["stabilizes"] = stab;
+    if (stab) {
+      cell["bad_step_bound"] =
+          static_cast<std::uint64_t>(stabilization_bad_step_bound(x, a));
+    }
+    cells.push_back(std::move(cell));
   };
   row("A", a);
   row("C", c);
@@ -58,5 +75,20 @@ int main() {
   std::cout << "\nPaper's claim reproduced: [C => A]init and A stabilizing "
                "to A do NOT imply C stabilizing to A; the everywhere premise "
                "restores the implication.\n";
+
+  const std::string json_path =
+      flags.get("json", report::default_bench_json_path(argv[0]));
+  if (json_path != "-") {
+    report::Json doc = report::Json::object();
+    doc["bench"] = report::bench_name_from_program(argv[0]);
+    doc["schema"] = 1;
+    doc["cells"] = std::move(cells);
+    report::Json witness = report::Json::object();
+    witness["from"] = names[verdict.witness_from];
+    witness["to"] = names[verdict.witness_to];
+    doc["witness_cycle"] = std::move(witness);
+    report::write_json_file(json_path, doc);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -9,12 +9,18 @@
 // nonmasking tolerant (to a LiveSpec, under a random fault relation), every
 // everywhere implementation C [] W' inherits the property — and, as with
 // stabilization, init-only implementations do NOT reliably inherit it.
+//
+// Parallelism: trials shard into a fixed number of chunks with independent
+// RNG streams (seed + chunk); chunk tallies merge in chunk order, so the
+// totals are identical for every --jobs value.
 #include <iostream>
 
 #include "algebra/checks.hpp"
 #include "algebra/generate.hpp"
 #include "algebra/tolerance.hpp"
 #include "common/flags.hpp"
+#include "common/parallel.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -22,15 +28,23 @@ namespace {
 using namespace graybox;
 using namespace graybox::algebra;
 
+constexpr std::size_t kChunks = 64;
+
 struct Tally {
   long trials = 0;
   long premise_held = 0;
   long conclusion_failed = 0;
+
+  void merge(const Tally& other) {
+    trials += other.trials;
+    premise_held += other.premise_held;
+    conclusion_failed += other.conclusion_failed;
+  }
 };
 
 enum class Flavour { kMasking, kFailsafe, kNonmasking };
 
-Tally sweep(Rng& rng, long trials, Flavour flavour, bool everywhere) {
+Tally sweep_serial(Rng& rng, long trials, Flavour flavour, bool everywhere) {
   Tally tally;
   for (long i = 0; i < trials; ++i) {
     ++tally.trials;
@@ -82,6 +96,21 @@ Tally sweep(Rng& rng, long trials, Flavour flavour, bool everywhere) {
   return tally;
 }
 
+Tally sweep(std::uint64_t seed, long trials, std::size_t jobs,
+            Flavour flavour, bool everywhere) {
+  std::vector<Tally> chunks(kChunks);
+  parallel_tasks(kChunks, jobs, [&](std::size_t chunk) {
+    const long base = trials / static_cast<long>(kChunks);
+    const long extra =
+        static_cast<long>(chunk) < trials % static_cast<long>(kChunks) ? 1 : 0;
+    Rng rng(seed + chunk);
+    chunks[chunk] = sweep_serial(rng, base + extra, flavour, everywhere);
+  });
+  Tally total;
+  for (const Tally& chunk : chunks) total.merge(chunk);
+  return total;
+}
+
 const char* name_of(Flavour flavour) {
   switch (flavour) {
     case Flavour::kMasking:
@@ -98,28 +127,49 @@ const char* name_of(Flavour flavour) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv,
-              {{"trials", "trials per cell (default 5000)"},
-               {"seed", "RNG seed (default 77)"}});
+              with_engine_flags({{"seed", "RNG seed (default 77)"}}));
   const long trials = flags.get_int("trials", 5000);
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 77)));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 77));
+  const std::size_t jobs =
+      resolve_jobs(static_cast<std::size_t>(flags.get_int("jobs", 0)));
 
   std::cout << "E11: graybox transfer of masking / fail-safe / nonmasking "
-               "tolerance (" << trials << " trials per cell)\n\n";
+               "tolerance (" << trials << " trials per cell, " << jobs
+            << " jobs, " << kChunks << " RNG chunks)\n\n";
+
+  struct Row {
+    std::string name;
+    std::string premise;
+    Tally tally;
+    bool failures_expected;
+  };
+  std::vector<Row> rows;
+  std::uint64_t salt = 0;
+  for (const Flavour flavour :
+       {Flavour::kMasking, Flavour::kFailsafe, Flavour::kNonmasking}) {
+    rows.push_back({name_of(flavour), "[C => A] everywhere",
+                    sweep(seed + salt, trials, jobs, flavour, true), false});
+    salt += 1000;
+    rows.push_back({name_of(flavour), "[C => A]init only",
+                    sweep(seed + salt, trials * 2, jobs, flavour, false),
+                    true});
+    salt += 1000;
+  }
 
   Table table({"tolerance", "implementation premise", "trials",
                "premise held", "conclusion failed", "verdict"});
-  for (const Flavour flavour :
-       {Flavour::kMasking, Flavour::kFailsafe, Flavour::kNonmasking}) {
-    const Tally everywhere = sweep(rng, trials, flavour, true);
-    table.row(name_of(flavour), "[C => A] everywhere", everywhere.trials,
-              everywhere.premise_held, everywhere.conclusion_failed,
-              everywhere.conclusion_failed == 0 ? "transfers" : "UNEXPECTED");
-    const Tally init_only = sweep(rng, trials * 2, flavour, false);
-    table.row(name_of(flavour), "[C => A]init only", init_only.trials,
-              init_only.premise_held, init_only.conclusion_failed,
-              init_only.conclusion_failed > 0
-                  ? "counterexamples exist (as paper says)"
-                  : "no counterexample found");
+  for (const Row& row : rows) {
+    const Tally& t = row.tally;
+    const char* verdict;
+    if (row.failures_expected) {
+      verdict = t.conclusion_failed > 0
+                    ? "counterexamples exist (as paper says)"
+                    : "no counterexample found";
+    } else {
+      verdict = t.conclusion_failed == 0 ? "transfers" : "UNEXPECTED";
+    }
+    table.row(row.name, row.premise, t.trials, t.premise_held,
+              t.conclusion_failed, verdict);
   }
   table.print(std::cout);
 
@@ -129,5 +179,31 @@ int main(int argc, char** argv) {
          "to every implementation — zero failures; with only the init-time "
          "premise, counterexamples appear for the flavours whose obligations "
          "extend beyond the initialized reachable region.\n";
+
+  const std::string json_path =
+      flags.get("json", report::default_bench_json_path(argv[0]));
+  if (json_path != "-") {
+    report::Json doc = report::Json::object();
+    doc["bench"] = report::bench_name_from_program(argv[0]);
+    doc["schema"] = 1;
+    doc["jobs"] = static_cast<std::uint64_t>(jobs);
+    doc["seed"] = seed;
+    doc["chunks"] = static_cast<std::uint64_t>(kChunks);
+    doc["cells"] = report::Json::array();
+    for (const Row& row : rows) {
+      report::Json cell = report::Json::object();
+      cell["name"] = row.name;
+      cell["premise"] = row.premise;
+      cell["trials"] = static_cast<std::int64_t>(row.tally.trials);
+      cell["premise_held"] =
+          static_cast<std::int64_t>(row.tally.premise_held);
+      cell["conclusion_failed"] =
+          static_cast<std::int64_t>(row.tally.conclusion_failed);
+      cell["failures_expected"] = row.failures_expected;
+      doc["cells"].push_back(std::move(cell));
+    }
+    report::write_json_file(json_path, doc);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -13,7 +13,7 @@
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 
 namespace {
 
@@ -32,24 +32,38 @@ HarnessConfig config_for(Algorithm algo, std::uint64_t seed) {
   return config;
 }
 
+std::string render(const RepeatedResult& r) {
+  std::string out = std::to_string(r.stabilized) + "/" +
+                    std::to_string(r.trials) + " stabilized";
+  if (r.stabilized > 0 && r.latency.count() > 0) {
+    out += ", lat " + mean_pm_stddev(r.latency, 0);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv, {{"trials", "seeds per cell (default 20)"}});
+  Flags flags(argc, argv, with_engine_flags());
   const std::size_t trials =
       static_cast<std::size_t>(flags.get_int("trials", 20));
-
-  std::cout << "E5: one graybox wrapper, three implementations, full fault "
-               "model (" << trials << " seeds per cell)\n\n";
+  const ExperimentEngine engine(engine_options_from_flags(flags));
 
   const net::FaultKind kinds[] = {
       net::FaultKind::kMessageDrop,     net::FaultKind::kMessageDuplicate,
       net::FaultKind::kMessageCorrupt,  net::FaultKind::kMessageReorder,
       net::FaultKind::kSpuriousMessage, net::FaultKind::kProcessCorrupt,
       net::FaultKind::kChannelClear};
+  const struct {
+    const char* column;
+    Algorithm algo;
+    bool mixed;
+  } impls[] = {{"ra", Algorithm::kRicartAgrawala, false},
+               {"lamport", Algorithm::kLamport, false},
+               {"mixed", Algorithm::kRicartAgrawala, true},
+               {"fragile", Algorithm::kFragile, false}};
 
-  Table table({"fault kind", "ricart-agrawala", "lamport",
-               "mixed (2 RA + 2 Lamport)", "fragile-ra (negative control)"});
+  SpecGrid grid;
   for (const auto kind : kinds) {
     FaultScenario scenario;
     scenario.warmup = 500;
@@ -58,30 +72,36 @@ int main(int argc, char** argv) {
     scenario.observation = 7000;
     scenario.drain = 5000;
 
-    auto render = [](const RepeatedResult& r) {
-      std::string out = std::to_string(r.stabilized) + "/" +
-                        std::to_string(r.trials) + " stabilized";
-      if (r.stabilized > 0 && r.latency.count() > 0) {
-        out += ", lat " + mean_pm_stddev(r.latency, 0);
+    for (const auto& impl : impls) {
+      HarnessConfig config = config_for(impl.algo, 500);
+      // Lspec is a LOCAL everywhere spec: a system MIXING implementations
+      // is still covered by Theorem 4, and the same wrapper must stabilize
+      // it.
+      if (impl.mixed) {
+        config.per_process_algorithms = {
+            Algorithm::kRicartAgrawala, Algorithm::kLamport,
+            Algorithm::kRicartAgrawala, Algorithm::kLamport};
       }
-      return out;
-    };
-    auto cell = [&](Algorithm algo) {
+      grid.add(std::string(net::to_string(kind)) + "/" + impl.column, config,
+               scenario, trials);
+    }
+  }
+  const GridResult result = engine.run(grid);
+
+  std::cout << "E5: one graybox wrapper, three implementations, full fault "
+               "model (" << trials << " seeds per cell, " << result.jobs
+            << " jobs)\n\n";
+
+  Table table({"fault kind", "ricart-agrawala", "lamport",
+               "mixed (2 RA + 2 Lamport)", "fragile-ra (negative control)"});
+  for (const auto kind : kinds) {
+    auto cell = [&](const char* column) {
       return render(
-          repeat_fault_experiment(config_for(algo, 500), scenario, trials));
+          result.cell(std::string(net::to_string(kind)) + "/" + column)
+              .result);
     };
-    // Lspec is a LOCAL everywhere spec: a system MIXING implementations is
-    // still covered by Theorem 4, and the same wrapper must stabilize it.
-    auto mixed_cell = [&] {
-      HarnessConfig config = config_for(Algorithm::kRicartAgrawala, 500);
-      config.per_process_algorithms = {
-          Algorithm::kRicartAgrawala, Algorithm::kLamport,
-          Algorithm::kRicartAgrawala, Algorithm::kLamport};
-      return render(repeat_fault_experiment(config, scenario, trials));
-    };
-    table.row(net::to_string(kind), cell(Algorithm::kRicartAgrawala),
-              cell(Algorithm::kLamport), mixed_cell(),
-              cell(Algorithm::kFragile));
+    table.row(net::to_string(kind), cell("ra"), cell("lamport"),
+              cell("mixed"), cell("fragile"));
   }
   table.print(std::cout);
 
@@ -95,5 +115,8 @@ int main(int argc, char** argv) {
          "the wrapper's guarantee rides on. (Bare mixed systems, by "
          "contrast, can starve even fault-free: RA ignores Lamport's "
          "RELEASE broadcasts — see tests/test_heterogeneous.cpp.)\n";
+
+  const std::string path = emit_bench_artifact(flags, result);
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
   return 0;
 }

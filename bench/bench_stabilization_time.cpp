@@ -4,12 +4,14 @@
 // reports no measurements. This bench produces the numbers the evaluation
 // would have shown: stabilization latency (last fault -> last TME Spec
 // violation) as a function of system size and of fault burst size, for both
-// programs, wrapped vs bare.
+// programs, wrapped vs bare. The whole grid runs through ExperimentEngine:
+// trials fan out across --jobs cores and the aggregates land in
+// BENCH_stabilization_time.json.
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 
 namespace {
 
@@ -42,25 +44,59 @@ std::string stab_cell(const RepeatedResult& r) {
   return std::to_string(r.stabilized) + "/" + std::to_string(r.trials);
 }
 
+const char* short_name(Algorithm algo) {
+  return algo == Algorithm::kRicartAgrawala ? "ra" : "lamport";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv, {{"trials", "trials per cell (default 15)"}});
+  Flags flags(argc, argv, with_engine_flags());
   const std::size_t trials =
       static_cast<std::size_t>(flags.get_int("trials", 15));
+  const ExperimentEngine engine(engine_options_from_flags(flags));
+
+  const std::size_t sizes[] = {2, 3, 4, 6, 8, 10, 12};
+  const std::size_t bursts[] = {2, 5, 10, 20, 40, 80};
+  const std::size_t bare_bursts[] = {10, 40, 80};
+  const Algorithm algos[] = {Algorithm::kRicartAgrawala, Algorithm::kLamport};
+
+  SpecGrid grid;
+  for (const Algorithm algo : algos) {
+    for (const std::size_t n : sizes) {
+      grid.add("by_n/" + std::string(short_name(algo)) +
+                   "/n=" + std::to_string(n),
+               config_for(algo, n, true), scenario_for(10), trials);
+    }
+    for (const std::size_t burst : bursts) {
+      grid.add("by_burst/" + std::string(short_name(algo)) +
+                   "/burst=" + std::to_string(burst),
+               config_for(algo, 5, true), scenario_for(burst), trials);
+    }
+    for (const std::size_t burst : bare_bursts) {
+      FaultScenario scenario = scenario_for(burst);
+      // Losses are what wedge a bare system (Section 4): drop-only mix.
+      scenario.mix = net::FaultMix::only(net::FaultKind::kMessageDrop);
+      scenario.mix.channel_clear = true;
+      grid.add("bare/" + std::string(short_name(algo)) +
+                   "/burst=" + std::to_string(burst),
+               config_for(algo, 5, false), scenario, trials);
+    }
+  }
+
+  const GridResult result = engine.run(grid);
 
   std::cout << "E7: stabilization latency after a mixed fault burst ("
-            << trials << " trials per cell)\n\n";
+            << trials << " trials per cell, " << result.jobs << " jobs)\n\n";
 
   std::cout << "Latency vs system size (burst = 10 faults), wrapped:\n\n";
   Table by_n({"n", "ra stabilized", "ra latency mean±sd", "lamport stabilized",
               "lamport latency mean±sd"});
-  for (const std::size_t n : {2u, 3u, 4u, 6u, 8u, 10u, 12u}) {
-    const RepeatedResult ra = repeat_fault_experiment(
-        config_for(Algorithm::kRicartAgrawala, n, true), scenario_for(10),
-        trials);
-    const RepeatedResult lam = repeat_fault_experiment(
-        config_for(Algorithm::kLamport, n, true), scenario_for(10), trials);
+  for (const std::size_t n : sizes) {
+    const RepeatedResult& ra =
+        result.cell("by_n/ra/n=" + std::to_string(n)).result;
+    const RepeatedResult& lam =
+        result.cell("by_n/lamport/n=" + std::to_string(n)).result;
     by_n.row(n, stab_cell(ra), mean_pm_stddev(ra.latency, 0), stab_cell(lam),
              mean_pm_stddev(lam.latency, 0));
   }
@@ -69,13 +105,11 @@ int main(int argc, char** argv) {
   std::cout << "\nLatency vs burst size (n = 5), wrapped:\n\n";
   Table by_burst({"burst", "ra stabilized", "ra latency mean±sd",
                   "lamport stabilized", "lamport latency mean±sd"});
-  for (const std::size_t burst : {2u, 5u, 10u, 20u, 40u, 80u}) {
-    const RepeatedResult ra = repeat_fault_experiment(
-        config_for(Algorithm::kRicartAgrawala, 5, true), scenario_for(burst),
-        trials);
-    const RepeatedResult lam = repeat_fault_experiment(
-        config_for(Algorithm::kLamport, 5, true), scenario_for(burst),
-        trials);
+  for (const std::size_t burst : bursts) {
+    const RepeatedResult& ra =
+        result.cell("by_burst/ra/burst=" + std::to_string(burst)).result;
+    const RepeatedResult& lam =
+        result.cell("by_burst/lamport/burst=" + std::to_string(burst)).result;
     by_burst.row(burst, stab_cell(ra), mean_pm_stddev(ra.latency, 0),
                  stab_cell(lam), mean_pm_stddev(lam.latency, 0));
   }
@@ -84,16 +118,14 @@ int main(int argc, char** argv) {
   std::cout << "\nBare baseline (n = 5): how often luck suffices without "
                "the wrapper, as the loss-heavy adversary strengthens:\n\n";
   Table bare({"algorithm", "burst 10", "burst 40", "burst 80"});
-  for (const Algorithm algo :
-       {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+  for (const Algorithm algo : algos) {
     std::vector<std::string> cells;
-    for (const std::size_t burst : {10u, 40u, 80u}) {
-      FaultScenario scenario = scenario_for(burst);
-      // Losses are what wedge a bare system (Section 4): drop-only mix.
-      scenario.mix = net::FaultMix::only(net::FaultKind::kMessageDrop);
-      scenario.mix.channel_clear = true;
-      const RepeatedResult r = repeat_fault_experiment(
-          config_for(algo, 5, false), scenario, trials);
+    for (const std::size_t burst : bare_bursts) {
+      const RepeatedResult& r =
+          result
+              .cell("bare/" + std::string(short_name(algo)) +
+                    "/burst=" + std::to_string(burst))
+              .result;
       cells.push_back(stab_cell(r) + " stabilized");
     }
     bare.row(to_string(algo), cells[0], cells[1], cells[2]);
@@ -108,5 +140,8 @@ int main(int argc, char** argv) {
                "Section 4 loss pattern (bench_deadlock_recovery) wedges "
                "them deterministically. The wrapper converts 'usually "
                "recovers' into 'always recovers'.\n";
+
+  const std::string path = emit_bench_artifact(flags, result);
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
   return 0;
 }

@@ -8,8 +8,12 @@
 // removes.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "algebra/checks.hpp"
 #include "algebra/generate.hpp"
+#include "core/engine.hpp"
 #include "core/harness.hpp"
 #include "lspec/snapshot.hpp"
 #include "lspec/tme_monitors.hpp"
@@ -162,6 +166,57 @@ void BM_AlgebraBoxCompose(benchmark::State& state) {
 }
 BENCHMARK(BM_AlgebraBoxCompose)->Arg(64)->Arg(256);
 
+void BM_EngineSmallCell(benchmark::State& state) {
+  // Engine overhead on a tiny cell (range(0) = jobs): spec construction,
+  // fan-out, and the seed-order fold around four short trials.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  core::HarnessConfig config;
+  config.n = 3;
+  config.wrapped = true;
+  config.client.think_mean = 30;
+  config.client.eat_mean = 5;
+  config.seed = 21;
+  core::FaultScenario scenario;
+  scenario.warmup = 200;
+  scenario.burst = 4;
+  scenario.observation = 800;
+  scenario.drain = 500;
+  const core::ExperimentEngine engine(core::EngineOptions{.jobs = jobs});
+  for (auto _ : state) {
+    core::SpecGrid grid;
+    grid.add("cell", config, scenario, 4);
+    benchmark::DoNotOptimize(engine.run(grid));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+  state.SetLabel("jobs=" + std::to_string(jobs));
+}
+BENCHMARK(BM_EngineSmallCell)->Arg(1)->Arg(2);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): display results on the console
+// AND write the google-benchmark JSON report as the binary's
+// BENCH_substrate_micro.json artifact, matching the engine-backed benches.
+int main(int argc, char** argv) {
+  // The library requires --benchmark_out when a file reporter is passed to
+  // RunSpecifiedBenchmarks; default it to the standard artifact path so a
+  // bare invocation behaves like the engine-backed benches.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_substrate_micro.json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) args.push_back(out_flag.data());
+  args.push_back(nullptr);
+  int args_count = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::ConsoleReporter console;
+  benchmark::JSONReporter json;
+  benchmark::RunSpecifiedBenchmarks(&console, &json);
+  benchmark::Shutdown();
+  return 0;
+}

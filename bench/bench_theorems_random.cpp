@@ -5,12 +5,19 @@
 // rest. Expected: zero conclusion failures for Lemma 0, Theorem 1, Lemma 2,
 // and Theorem 4 — and a NONZERO number of failures for the negative control
 // (init-only implementations), which is exactly the gap Figure 1 exhibits.
+//
+// Parallelism: trials are sharded into a FIXED number of chunks, each with
+// its own Rng seeded seed+chunk; chunk tallies merge in chunk order. The
+// totals are therefore identical for every --jobs value (the chunking — not
+// the thread count — defines the random stream).
 #include <iostream>
 
 #include "algebra/checks.hpp"
 #include "algebra/generate.hpp"
 #include "algebra/synthesis.hpp"
 #include "common/flags.hpp"
+#include "common/parallel.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -18,11 +25,36 @@ namespace {
 using namespace graybox;
 using namespace graybox::algebra;
 
+constexpr std::size_t kChunks = 64;
+
 struct Tally {
   long trials = 0;
   long premise_held = 0;
   long conclusion_failed = 0;
+
+  void merge(const Tally& other) {
+    trials += other.trials;
+    premise_held += other.premise_held;
+    conclusion_failed += other.conclusion_failed;
+  }
 };
+
+/// Shard `trials` over kChunks independent RNG streams, run the chunks on
+/// `jobs` workers, and merge in chunk order.
+Tally run_chunked(std::uint64_t seed, long trials, std::size_t jobs,
+                  const std::function<Tally(Rng&, long)>& body) {
+  std::vector<Tally> chunks(kChunks);
+  parallel_tasks(kChunks, jobs, [&](std::size_t chunk) {
+    const long base = trials / static_cast<long>(kChunks);
+    const long extra =
+        static_cast<long>(chunk) < trials % static_cast<long>(kChunks) ? 1 : 0;
+    Rng rng(seed + chunk);
+    chunks[chunk] = body(rng, base + extra);
+  });
+  Tally total;
+  for (const Tally& chunk : chunks) total.merge(chunk);
+  return total;
+}
 
 Tally check_lemma0(Rng& rng, long trials) {
   Tally tally;
@@ -92,36 +124,84 @@ Tally check_theorem4(Rng& rng, long trials) {
   return tally;
 }
 
+/// Synthesis sweep tallies (Section 6) — merged in chunk order like Tally.
+struct SynthTally {
+  Tally base;
+  long fairness_needed = 0;
+  std::size_t wrapper_edges = 0;
+
+  void merge(const SynthTally& other) {
+    base.merge(other.base);
+    fairness_needed += other.fairness_needed;
+    wrapper_edges += other.wrapper_edges;
+  }
+};
+
+SynthTally check_synthesis(Rng& rng, long trials) {
+  SynthTally tally;
+  for (long i = 0; i < trials; ++i) {
+    ++tally.base.trials;
+    RandomSystemParams params;
+    params.num_states = 4 + rng.index(8);
+    params.initial_density = 0.2;
+    const System a = random_system(rng, params);
+    const System w = synthesize_reset_wrapper(a);
+    tally.wrapper_edges += w.num_transitions();
+    const System c = random_everywhere_implementation(rng, a);
+    ++tally.base.premise_held;
+    if (!fair_stabilizes_to(a, w, a) || !fair_stabilizes_to(c, w, a))
+      ++tally.base.conclusion_failed;
+    if (!stabilizes_to(System::box(a, w), a)) ++tally.fairness_needed;
+  }
+  return tally;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv,
-              {{"trials", "trials per theorem (default 5000)"},
-               {"seed", "RNG seed (default 42)"}});
+              with_engine_flags({{"seed", "RNG seed (default 42)"}}));
   const long trials = flags.get_int("trials", 5000);
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::size_t jobs =
+      resolve_jobs(static_cast<std::size_t>(flags.get_int("jobs", 0)));
 
   std::cout << "E2: randomized property check of the Section 2 theorems ("
-            << trials << " trials each)\n\n";
+            << trials << " trials each, " << jobs << " jobs, " << kChunks
+            << " RNG chunks)\n\n";
+
+  struct Row {
+    const char* name;
+    Tally tally;
+    bool failures_expected;
+  };
+  Row rows[] = {
+      {"Lemma 0 (box monotonicity)",
+       run_chunked(seed, trials, jobs, check_lemma0), false},
+      {"Theorem 1 (graybox stabilization)",
+       run_chunked(seed + 1000, trials, jobs,
+                   [](Rng& rng, long t) { return check_theorem1(rng, t, true); }),
+       false},
+      {"Theorem 4 (local everywhere composition)",
+       run_chunked(seed + 2000, trials, jobs, check_theorem4), false},
+      {"negative: Theorem 1 with [C=>A]init only",
+       run_chunked(seed + 3000, trials * 2, jobs,
+                   [](Rng& rng, long t) { return check_theorem1(rng, t, false); }),
+       true},
+  };
 
   Table table({"result", "trials", "premise held", "conclusion failed",
                "verdict"});
-  auto add = [&](const char* name, const Tally& t, bool failures_expected) {
-    const bool ok = failures_expected ? t.conclusion_failed > 0
-                                      : t.conclusion_failed == 0;
-    table.row(name, t.trials, t.premise_held, t.conclusion_failed,
-              ok ? (failures_expected ? "counterexamples exist (as paper says)"
-                                      : "holds")
+  for (const Row& row : rows) {
+    const Tally& t = row.tally;
+    const bool ok = row.failures_expected ? t.conclusion_failed > 0
+                                          : t.conclusion_failed == 0;
+    table.row(row.name, t.trials, t.premise_held, t.conclusion_failed,
+              ok ? (row.failures_expected
+                        ? "counterexamples exist (as paper says)"
+                        : "holds")
                  : "UNEXPECTED");
-  };
-
-  add("Lemma 0 (box monotonicity)", check_lemma0(rng, trials), false);
-  add("Theorem 1 (graybox stabilization)",
-      check_theorem1(rng, trials, true), false);
-  add("Theorem 4 (local everywhere composition)",
-      check_theorem4(rng, trials), false);
-  add("negative: Theorem 1 with [C=>A]init only",
-      check_theorem1(rng, trials * 2, false), true);
+  }
   table.print(std::cout);
 
   // --- Section 6: automatic synthesis of graybox stabilization -----------
@@ -130,33 +210,28 @@ int main(int argc, char** argv) {
   // Also count how often fairness is doing real work: the demonic
   // semantics cannot repair A (its stray states cycle) while the fair one
   // can — this is the formal role of W's timeout.
-  Tally synth;
-  long fairness_needed = 0;
-  std::size_t wrapper_edges = 0;
-  for (long i = 0; i < trials; ++i) {
-    ++synth.trials;
-    RandomSystemParams params;
-    params.num_states = 4 + rng.index(8);
-    params.initial_density = 0.2;
-    const System a = random_system(rng, params);
-    const System w = synthesize_reset_wrapper(a);
-    wrapper_edges += w.num_transitions();
-    const System c = random_everywhere_implementation(rng, a);
-    ++synth.premise_held;
-    if (!fair_stabilizes_to(a, w, a) || !fair_stabilizes_to(c, w, a))
-      ++synth.conclusion_failed;
-    if (!stabilizes_to(System::box(a, w), a)) ++fairness_needed;
-  }
+  std::vector<SynthTally> synth_chunks(kChunks);
+  parallel_tasks(kChunks, jobs, [&](std::size_t chunk) {
+    const long base = trials / static_cast<long>(kChunks);
+    const long extra =
+        static_cast<long>(chunk) < trials % static_cast<long>(kChunks) ? 1 : 0;
+    Rng rng(seed + 4000 + chunk);
+    synth_chunks[chunk] = check_synthesis(rng, base + extra);
+  });
+  SynthTally synth;
+  for (const SynthTally& chunk : synth_chunks) synth.merge(chunk);
+
   std::cout << "\nSection 6 synthesis (reset wrapper from A alone, fair "
                "wrapper execution):\n\n";
   Table synth_table({"metric", "value"});
-  synth_table.row("specs synthesized for", synth.trials);
+  synth_table.row("specs synthesized for", synth.base.trials);
   synth_table.row("fair stabilization failures (A and impls)",
-                  synth.conclusion_failed);
+                  synth.base.conclusion_failed);
   synth_table.row("specs where fairness was necessary (demonic box fails)",
-                  fairness_needed);
+                  synth.fairness_needed);
   synth_table.row("mean wrapper recovery edges",
-                  wrapper_edges / static_cast<std::size_t>(synth.trials));
+                  synth.wrapper_edges /
+                      static_cast<std::size_t>(synth.base.trials));
   synth_table.print(std::cout);
 
   std::cout << "\nExpected shape: the three positive rows never fail; the\n"
@@ -165,5 +240,39 @@ int main(int argc, char** argv) {
                "fails, and on a sizable fraction of specs only the FAIR\n"
                "semantics stabilizes - the algebraic reason the deployable\n"
                "wrapper W' carries a timer.\n";
+
+  // Artifact: one cell per theorem row plus the synthesis block.
+  const std::string json_path =
+      flags.get("json", report::default_bench_json_path(argv[0]));
+  if (json_path != "-") {
+    report::Json doc = report::Json::object();
+    doc["bench"] = report::bench_name_from_program(argv[0]);
+    doc["schema"] = 1;
+    doc["jobs"] = static_cast<std::uint64_t>(jobs);
+    doc["seed"] = seed;
+    doc["chunks"] = static_cast<std::uint64_t>(kChunks);
+    doc["cells"] = report::Json::array();
+    for (const Row& row : rows) {
+      report::Json cell = report::Json::object();
+      cell["name"] = row.name;
+      cell["trials"] = static_cast<std::int64_t>(row.tally.trials);
+      cell["premise_held"] =
+          static_cast<std::int64_t>(row.tally.premise_held);
+      cell["conclusion_failed"] =
+          static_cast<std::int64_t>(row.tally.conclusion_failed);
+      cell["failures_expected"] = row.failures_expected;
+      doc["cells"].push_back(std::move(cell));
+    }
+    report::Json s = report::Json::object();
+    s["specs"] = static_cast<std::int64_t>(synth.base.trials);
+    s["fair_stabilization_failures"] =
+        static_cast<std::int64_t>(synth.base.conclusion_failed);
+    s["fairness_needed"] = static_cast<std::int64_t>(synth.fairness_needed);
+    s["total_wrapper_edges"] =
+        static_cast<std::uint64_t>(synth.wrapper_edges);
+    doc["synthesis"] = std::move(s);
+    report::write_json_file(json_path, doc);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

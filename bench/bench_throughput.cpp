@@ -7,34 +7,47 @@
 // (all of which must be zero). Runs BARE (no wrapper) so the per-entry
 // message counts are exact protocol complexity; bench_interference
 // quantifies what the wrapper adds on top.
+#include <cstdio>
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/harness.hpp"
-#include "core/stabilization.hpp"
+#include "core/engine.hpp"
 
 namespace {
 
 using namespace graybox;
 using namespace graybox::core;
 
+const char* short_name(Algorithm algo) {
+  return algo == Algorithm::kRicartAgrawala ? "ra" : "lamport";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv, {{"horizon", "run length in ticks (default 20000)"}});
+  Flags flags(argc, argv,
+              with_engine_flags(
+                  {{"horizon", "run length in ticks (default 20000)"}}));
   const SimTime horizon =
       static_cast<SimTime>(flags.get_int("horizon", 20000));
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 5));
+  const ExperimentEngine engine(engine_options_from_flags(flags));
 
-  std::cout << "E8: fault-free TME service metrics over " << horizon
-            << " ticks (bare protocols; see E6 for wrapper overhead)\n\n";
+  // Fault-free service measurement: the whole horizon is "warmup".
+  FaultScenario scenario;
+  scenario.warmup = horizon;
+  scenario.burst = 0;
+  scenario.observation = 0;
+  scenario.drain = 5000;
 
-  Table table({"n", "algorithm", "CS entries", "entries/1k ticks",
-               "msgs/entry", "expected msgs/entry", "max wait",
-               "violations"});
-  for (const std::size_t n : {2u, 3u, 5u, 8u, 12u}) {
-    for (const Algorithm algo :
-         {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+  const std::size_t sizes[] = {2, 3, 5, 8, 12};
+  const Algorithm algos[] = {Algorithm::kRicartAgrawala, Algorithm::kLamport};
+
+  SpecGrid grid;
+  for (const std::size_t n : sizes) {
+    for (const Algorithm algo : algos) {
       HarnessConfig config;
       config.n = n;
       config.algorithm = algo;
@@ -42,28 +55,41 @@ int main(int argc, char** argv) {
       config.client.think_mean = 50;
       config.client.eat_mean = 8;
       config.seed = 42 + n;
-      SystemHarness h(config);
-      h.start();
-      h.run_for(horizon);
-      h.drain(5000);
-      const RunStats stats = h.stats();
-      const double protocol_msgs = static_cast<double>(
-          stats.messages_sent - stats.wrapper_messages);
-      const double per_entry =
-          stats.cs_entries > 0
-              ? protocol_msgs / static_cast<double>(stats.cs_entries)
-              : 0.0;
-      const std::uint64_t violations = stats.me1_violations +
-                                       stats.me3_violations +
-                                       stats.invariant_violations;
-      char buf[32], buf2[32];
+      grid.add(std::string(short_name(algo)) + "/n=" + std::to_string(n),
+               config, scenario, trials);
+    }
+  }
+  const GridResult result = engine.run(grid);
+
+  std::cout << "E8: fault-free TME service metrics over " << horizon
+            << " ticks (bare protocols, " << trials << " trials per cell, "
+            << result.jobs
+            << " jobs; see E6 for wrapper overhead)\n\n";
+
+  Table table({"n", "algorithm", "CS entries mean", "entries/1k ticks",
+               "msgs/entry", "expected msgs/entry", "max wait mean",
+               "violations"});
+  for (const std::size_t n : sizes) {
+    for (const Algorithm algo : algos) {
+      const RepeatedResult& r =
+          result
+              .cell(std::string(short_name(algo)) + "/n=" +
+                    std::to_string(n))
+              .result;
+      const double per_entry = r.cs_entries.sum() > 0
+                                   ? r.protocol_messages.sum() /
+                                         r.cs_entries.sum()
+                                   : 0.0;
+      char buf[32], buf2[32], buf3[32];
       std::snprintf(buf, sizeof buf, "%.1f", per_entry);
       std::snprintf(buf2, sizeof buf2, "%.1f",
-                    static_cast<double>(stats.cs_entries) * 1000.0 /
+                    r.cs_entries.mean() * 1000.0 /
                         static_cast<double>(horizon));
-      table.row(n, to_string(algo), stats.cs_entries, buf2, buf,
-                (algo == Algorithm::kRicartAgrawala ? 2 : 3) * (n - 1),
-                stats.me2_max_wait, violations);
+      std::snprintf(buf3, sizeof buf3, "%.0f", r.max_wait.mean());
+      table.row(n, to_string(algo),
+                static_cast<std::uint64_t>(r.cs_entries.mean()), buf2, buf,
+                (algo == Algorithm::kRicartAgrawala ? 2 : 3) * (n - 1), buf3,
+                static_cast<std::uint64_t>(r.safety_violations.sum()));
     }
   }
   table.print(std::cout);
@@ -73,5 +99,8 @@ int main(int argc, char** argv) {
          "msgs/entry equals 2(n-1) for Ricart-Agrawala (its optimality "
          "claim) and 3(n-1) for Lamport; throughput saturates and max wait "
          "grows with n as contention rises.\n";
+
+  const std::string path = emit_bench_artifact(flags, result);
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
   return 0;
 }

@@ -13,11 +13,12 @@
 // Expected shape: latency grows with delta; wrapper traffic falls roughly
 // as 1/delta; fault-free traffic falls to ~0 once delta exceeds typical
 // request-service times — the tuning knob the paper describes.
+#include <cstdio>
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 
 namespace {
 
@@ -36,12 +37,17 @@ HarnessConfig config_for(Algorithm algo, SimTime delta, std::uint64_t seed) {
   return config;
 }
 
+const char* short_name(Algorithm algo) {
+  return algo == Algorithm::kRicartAgrawala ? "ra" : "lamport";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv, {{"trials", "trials per cell (default 15)"}});
+  Flags flags(argc, argv, with_engine_flags());
   const std::size_t trials =
       static_cast<std::size_t>(flags.get_int("trials", 15));
+  const ExperimentEngine engine(engine_options_from_flags(flags));
 
   FaultScenario scenario;
   scenario.warmup = 600;
@@ -50,23 +56,36 @@ int main(int argc, char** argv) {
   scenario.observation = 8000;
   scenario.drain = 5000;
 
+  FaultScenario clean = scenario;
+  clean.burst = 0;
+
+  const SimTime deltas[] = {0, 2, 5, 10, 25, 50, 100, 200, 400};
+  const Algorithm algos[] = {Algorithm::kRicartAgrawala, Algorithm::kLamport};
+
+  SpecGrid grid;
+  for (const Algorithm algo : algos) {
+    for (const SimTime delta : deltas) {
+      const std::string stem =
+          std::string(short_name(algo)) + "/delta=" + std::to_string(delta);
+      grid.add("faulty/" + stem, config_for(algo, delta, 1000), scenario,
+               trials);
+      grid.add("quiet/" + stem, config_for(algo, delta, 1000), clean, trials);
+    }
+  }
+  const GridResult result = engine.run(grid);
+
   std::cout << "E4: W' timeout sweep, " << trials
             << " trials per cell, burst of " << scenario.burst
-            << " mixed faults\n\n";
+            << " mixed faults (" << result.jobs << " jobs)\n\n";
 
-  for (const Algorithm algo :
-       {Algorithm::kRicartAgrawala, Algorithm::kLamport}) {
+  for (const Algorithm algo : algos) {
     Table table({"delta", "stabilized", "latency mean±sd", "latency p95",
                  "wrapper msgs (faulty)", "wrapper msgs (fault-free)"});
-    for (const SimTime delta : {0, 2, 5, 10, 25, 50, 100, 200, 400}) {
-      const HarnessConfig config = config_for(algo, delta, 1000);
-      const RepeatedResult faulty =
-          repeat_fault_experiment(config, scenario, trials);
-
-      FaultScenario clean = scenario;
-      clean.burst = 0;
-      const RepeatedResult quiet =
-          repeat_fault_experiment(config, clean, trials);
+    for (const SimTime delta : deltas) {
+      const std::string stem =
+          std::string(short_name(algo)) + "/delta=" + std::to_string(delta);
+      const RepeatedResult& faulty = result.cell("faulty/" + stem).result;
+      const RepeatedResult& quiet = result.cell("quiet/" + stem).result;
 
       char p95[32];
       std::snprintf(p95, sizeof p95, "%.0f", faulty.latency.percentile(95));
@@ -87,5 +106,8 @@ int main(int argc, char** argv) {
                "delta while wrapper traffic falls ~1/delta; fault-free "
                "traffic approaches zero for large delta (the paper's "
                "'decrease the unnecessary repetitions').\n";
+
+  const std::string path = emit_bench_artifact(flags, result);
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
   return 0;
 }

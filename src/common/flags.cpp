@@ -58,6 +58,15 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   return it->second != "false" && it->second != "0" && it->second != "no";
 }
 
+std::map<std::string, std::string> with_engine_flags(
+    std::map<std::string, std::string> spec) {
+  spec.emplace("jobs", "worker threads for trial fan-out (default 0 = all cores)");
+  spec.emplace("trials", "trials (consecutive seeds) per grid cell");
+  spec.emplace("json",
+               "bench artifact path (default BENCH_<name>.json; '-' disables)");
+  return spec;
+}
+
 void Flags::usage_and_exit(const std::string& bad) const {
   std::fprintf(stderr, "%s: unknown argument '%s'\nknown flags:\n",
                program_.c_str(), bad.c_str());

@@ -34,4 +34,14 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// The flag spec shared by every engine-backed bench binary — merges
+/// --jobs (worker threads; 0 = all cores), --trials (seeds per grid cell)
+/// and --json (result artifact path; default BENCH_<name>.json, "-" to
+/// disable) into `spec`. Keeping the spelling in one place means every
+/// binary accepts the same invocation:
+///
+///   bench_stabilization_time --trials 64 --jobs $(nproc) --json out.json
+std::map<std::string, std::string> with_engine_flags(
+    std::map<std::string, std::string> spec = {});
+
 }  // namespace graybox

@@ -1,0 +1,45 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace graybox {
+
+std::size_t recommended_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  return jobs == 0 ? recommended_jobs() : jobs;
+}
+
+void parallel_tasks(std::size_t count, std::size_t jobs,
+                    const std::function<void(std::size_t)>& task) {
+  GBX_EXPECTS(task != nullptr);
+  if (count == 0) return;
+  jobs = resolve_jobs(jobs);
+  if (jobs > count) jobs = count;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      task(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (std::size_t t = 1; t < jobs; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace graybox

@@ -1,0 +1,36 @@
+// Minimal worker-pool primitive shared by the experiment engine and the
+// randomized algebra sweeps.
+//
+// parallel_tasks(n, jobs, fn) runs fn(0..n-1) across at most `jobs` threads
+// pulling indices from a single atomic counter (chunk-free dynamic
+// scheduling: trials vary widely in cost, so static striping would idle
+// fast workers). Determinism is the CALLER's obligation and is achieved by
+// construction everywhere in this repository: each task writes only to its
+// own pre-allocated result slot, and the caller reduces the slots in index
+// order afterwards — so the reduction is independent of thread timing and
+// of the jobs count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace graybox {
+
+/// Number of workers to use when the caller asked for "auto" (jobs == 0):
+/// std::thread::hardware_concurrency(), or 1 if that is unknown.
+std::size_t recommended_jobs();
+
+/// Resolve a user-facing --jobs value: 0 -> recommended_jobs(), otherwise
+/// the value itself.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// Run task(i) for every i in [0, count) on min(jobs, count) threads.
+/// jobs == 0 means recommended_jobs(); jobs == 1 (or count <= 1) runs
+/// inline on the calling thread with no thread machinery at all, so a
+/// serial run is exactly a plain loop. Tasks must not throw: a contract
+/// violation aborts the process (see common/contracts.hpp), which is this
+/// library's failure model.
+void parallel_tasks(std::size_t count, std::size_t jobs,
+                    const std::function<void(std::size_t)>& task);
+
+}  // namespace graybox

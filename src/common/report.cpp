@@ -1,0 +1,242 @@
+#include "common/report.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace graybox::report {
+
+Json::Json(const Json& other)
+    : kind_(other.kind_),
+      bool_(other.bool_),
+      int_(other.int_),
+      double_(other.double_),
+      string_(other.string_),
+      array_(other.array_) {
+  object_.reserve(other.object_.size());
+  for (const auto& [key, value] : other.object_)
+    object_.emplace_back(key, std::make_unique<Json>(*value));
+}
+
+Json& Json::operator=(const Json& other) {
+  if (this != &other) {
+    Json copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  GBX_EXPECTS(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) return *v;
+  }
+  object_.emplace_back(key, std::make_unique<Json>());
+  return *object_.back().second;
+}
+
+const Json& Json::at(const std::string& key) const {
+  GBX_EXPECTS(kind_ == Kind::kObject);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return *v;
+  }
+  GBX_EXPECTS(false && "Json::at: missing key");
+  std::abort();  // unreachable; GBX_EXPECTS aborted already
+}
+
+bool Json::contains(const std::string& key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, v] : object_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Json& Json::push_back(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  GBX_EXPECTS(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double d) {
+  // JSON has no NaN/Inf; the accumulators never produce them, but be safe.
+  if (!std::isfinite(d)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  // Shortest round-trip representation: deterministic across runs and
+  // faithful to the bit pattern, which the --jobs determinism test relies on.
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  os.write(buf, res.ptr - buf);
+}
+
+void write_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      return;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Kind::kInt:
+      os << int_;
+      return;
+    case Kind::kDouble:
+      write_double(os, double_);
+      return;
+    case Kind::kString:
+      write_escaped(os, string_);
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_newline_indent(os, indent, depth + 1);
+        array_[i].write(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_newline_indent(os, indent, depth + 1);
+        write_escaped(os, object_[i].first);
+        os << (indent > 0 ? ": " : ":");
+        object_[i].second->write(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent, 0);
+  return os.str();
+}
+
+void Json::dump_to(std::ostream& os, int indent) const {
+  write(os, indent, 0);
+}
+
+std::string default_bench_json_path(const std::string& program_path) {
+  return "BENCH_" + bench_name_from_program(program_path) + ".json";
+}
+
+std::string bench_name_from_program(const std::string& program_path) {
+  const auto slash = program_path.find_last_of('/');
+  std::string base = slash == std::string::npos
+                         ? program_path
+                         : program_path.substr(slash + 1);
+  if (base.rfind("bench_", 0) == 0) base = base.substr(6);
+  return base;
+}
+
+void write_json_file(const std::string& path, const Json& doc) {
+  std::ofstream out(path);
+  GBX_EXPECTS(out.good());
+  doc.dump_to(out, 2);
+  out << '\n';
+  out.flush();
+  GBX_ENSURES(out.good());
+}
+
+std::string strip_volatile_lines(const std::string& pretty_json) {
+  std::istringstream in(pretty_json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"wall") != std::string::npos) continue;
+    if (line.find("\"jobs\"") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace graybox::report

@@ -1,0 +1,95 @@
+// Machine-readable result emission for the bench binaries.
+//
+// Every engine-backed run serializes to one BENCH_<name>.json artifact so
+// results can be tracked PR-over-PR and compared across --jobs values. The
+// writer is deliberately tiny and DETERMINISTIC: object keys keep insertion
+// order, doubles render via shortest round-trip (std::to_chars), and the
+// only fields that legitimately differ between two runs of the same binary
+// are the wall-clock ones — which all live under keys containing "wall" or
+// "jobs", so byte-level diffs modulo those lines decide reproducibility
+// (see tests/test_engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graybox::report {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+/// Objects preserve insertion order so serialization is reproducible.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  Json(std::int64_t i) : kind_(Kind::kInt), int_(i) {}      // NOLINT
+  Json(std::uint64_t u)                                     // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  Json(int i) : kind_(Kind::kInt), int_(i) {}               // NOLINT
+  Json(double d) : kind_(Kind::kDouble), double_(d) {}      // NOLINT
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+
+  static Json array();
+  static Json object();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object field access; inserts (in order) on first use. Requires an
+  /// object (or a default-constructed null, which becomes one).
+  Json& operator[](const std::string& key);
+  /// Read-only lookup; aborts if missing (tests use contains() first).
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array append. Requires an array (or a null, which becomes one).
+  Json& push_back(Json value);
+  std::size_t size() const;
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level
+  /// and one object key / array element per line.
+  std::string dump(int indent = 2) const;
+  void dump_to(std::ostream& os, int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void write(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, std::unique_ptr<Json>>> object_;
+
+ public:
+  Json(const Json& other);
+  Json& operator=(const Json& other);
+  Json(Json&&) noexcept = default;
+  Json& operator=(Json&&) noexcept = default;
+  ~Json() = default;
+};
+
+/// "BENCH_<name>.json" where <name> is bench_name_from_program() — the
+/// default artifact path every bench binary writes unless --json overrides.
+std::string default_bench_json_path(const std::string& program_path);
+
+/// Experiment name from argv[0]: basename minus a leading "bench_".
+std::string bench_name_from_program(const std::string& program_path);
+
+/// Write `doc` to `path` (pretty-printed, trailing newline). Aborts on I/O
+/// failure: losing a bench artifact silently would defeat the point.
+void write_json_file(const std::string& path, const Json& doc);
+
+/// Drop every line whose key mentions wall-clock time or the jobs count —
+/// the only legitimately run-dependent fields — so two runs of the same
+/// experiment can be compared byte-for-byte.
+std::string strip_volatile_lines(const std::string& pretty_json);
+
+}  // namespace graybox::report

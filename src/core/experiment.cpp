@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "core/engine.hpp"
+
 namespace graybox::core {
 
 ExperimentResult run_fault_experiment(const HarnessConfig& config,
@@ -17,28 +19,60 @@ ExperimentResult run_fault_experiment(const HarnessConfig& config,
   return ExperimentResult{harness.stabilization_report(), harness.stats()};
 }
 
+RepeatedResult::RepeatedResult(std::size_t sample_cap) {
+  if (sample_cap == 0) return;
+  for (Accumulator* acc :
+       {&latency, &total_messages, &wrapper_messages, &protocol_messages,
+        &violations, &safety_violations, &cs_entries, &max_wait, &events}) {
+    *acc = Accumulator(sample_cap);
+  }
+}
+
+void RepeatedResult::add(const ExperimentResult& result) {
+  ++trials;
+  if (result.report.stabilized) {
+    ++stabilized;
+    if (result.report.faults_injected)
+      latency.add(static_cast<double>(result.report.latency));
+  }
+  if (result.report.starvation) ++starved;
+  total_messages.add(static_cast<double>(result.stats.messages_sent));
+  wrapper_messages.add(static_cast<double>(result.stats.wrapper_messages));
+  protocol_messages.add(static_cast<double>(result.stats.messages_sent -
+                                            result.stats.wrapper_messages));
+  violations.add(static_cast<double>(result.report.violations_total));
+  safety_violations.add(static_cast<double>(result.stats.me1_violations +
+                                            result.stats.me3_violations +
+                                            result.stats.invariant_violations));
+  cs_entries.add(static_cast<double>(result.stats.cs_entries));
+  max_wait.add(static_cast<double>(result.stats.me2_max_wait));
+  events.add(static_cast<double>(result.stats.events_executed));
+}
+
+void RepeatedResult::merge(const RepeatedResult& other) {
+  trials += other.trials;
+  stabilized += other.stabilized;
+  starved += other.starved;
+  latency.merge(other.latency);
+  total_messages.merge(other.total_messages);
+  wrapper_messages.merge(other.wrapper_messages);
+  protocol_messages.merge(other.protocol_messages);
+  violations.merge(other.violations);
+  safety_violations.merge(other.safety_violations);
+  cs_entries.merge(other.cs_entries);
+  max_wait.merge(other.max_wait);
+  events.merge(other.events);
+}
+
 RepeatedResult repeat_fault_experiment(HarnessConfig config,
                                        const FaultScenario& scenario,
-                                       std::size_t trials) {
-  RepeatedResult out;
-  out.trials = trials;
-  const std::uint64_t base_seed = config.seed;
-  for (std::size_t i = 0; i < trials; ++i) {
-    config.seed = base_seed + i;
-    const ExperimentResult result = run_fault_experiment(config, scenario);
-    if (result.report.stabilized) {
-      ++out.stabilized;
-      if (result.report.faults_injected)
-        out.latency.add(static_cast<double>(result.report.latency));
-    }
-    if (result.report.starvation) ++out.starved;
-    out.total_messages.add(static_cast<double>(result.stats.messages_sent));
-    out.wrapper_messages.add(
-        static_cast<double>(result.stats.wrapper_messages));
-    out.violations.add(static_cast<double>(result.report.violations_total));
-    out.cs_entries.add(static_cast<double>(result.stats.cs_entries));
-  }
-  return out;
+                                       std::size_t trials, std::size_t jobs) {
+  RunSpec spec;
+  spec.name = "cell";
+  spec.config = config;
+  spec.scenario = scenario;
+  spec.trials = trials;
+  return ExperimentEngine(EngineOptions{.jobs = jobs}).run_cell(spec).result;
 }
 
 }  // namespace graybox::core

@@ -4,10 +4,12 @@
 //   * fault-recovery: warm up, inject a fault burst, observe, drain, and
 //     judge stabilization;
 //   * fault-free: run and drain with no faults (interference-freedom and
-//     throughput measurements).
+//     throughput measurements) — a FaultScenario with burst == 0.
 //
-// run_fault_experiment packages the first pattern; repeat_fault_experiment
-// aggregates it across seeds into latency/overhead statistics.
+// run_fault_experiment packages one seeded trial; RepeatedResult aggregates
+// trials into latency/overhead statistics. Trial fan-out across cores lives
+// in core/engine.hpp (ExperimentEngine); repeat_fault_experiment is the
+// one-cell convenience wrapper over it.
 #pragma once
 
 #include <functional>
@@ -31,7 +33,8 @@ struct FaultScenario {
   SimTime drain = 3000;
   /// Optional custom fault action run at the end of warmup *instead of*
   /// the random burst (used by scripted scenarios like Section 4's
-  /// deadlock). Receives the harness.
+  /// deadlock). Receives the harness. Runs concurrently across trials in
+  /// engine runs, so it must not mutate state shared between calls.
   std::function<void(SystemHarness&)> scripted_fault;
 };
 
@@ -44,21 +47,43 @@ struct ExperimentResult {
 ExperimentResult run_fault_experiment(const HarnessConfig& config,
                                       const FaultScenario& scenario);
 
-/// Run `trials` experiments over consecutive seeds; aggregates.
+/// Aggregate over trials. A commutative-monoid-shaped fold target: empty()
+/// is the identity, add() folds one trial, merge() combines two partials.
+/// The engine folds per-trial results in seed order, which makes the
+/// aggregate independent of how trials were sharded across workers.
 struct RepeatedResult {
+  RepeatedResult() = default;
+  /// Partials whose accumulators retain at most `sample_cap` samples
+  /// (0 = unlimited); see Accumulator's cap semantics.
+  explicit RepeatedResult(std::size_t sample_cap);
+
   std::size_t trials = 0;
   std::size_t stabilized = 0;
   std::size_t starved = 0;
   Accumulator latency;           ///< over stabilized trials with faults
   Accumulator total_messages;
   Accumulator wrapper_messages;
-  Accumulator violations;
+  Accumulator protocol_messages; ///< total minus wrapper traffic
+  Accumulator violations;        ///< StabilizationReport::violations_total
+  Accumulator safety_violations; ///< ME1 + ME3 + invariant-I counts
   Accumulator cs_entries;
+  Accumulator max_wait;          ///< ME2 worst-case waiting time per trial
+  Accumulator events;            ///< simulator events executed per trial
+
+  /// Fold one trial's outcome.
+  void add(const ExperimentResult& result);
+  /// Fold another partial (its trials are treated as coming after ours).
+  void merge(const RepeatedResult& other);
 
   bool all_stabilized() const { return stabilized == trials; }
 };
+
+/// Run `trials` experiments over consecutive seeds and aggregate. `jobs`
+/// selects worker threads (0 = all cores, 1 = serial); the aggregate is
+/// bit-identical for every jobs value.
 RepeatedResult repeat_fault_experiment(HarnessConfig config,
                                        const FaultScenario& scenario,
-                                       std::size_t trials);
+                                       std::size_t trials,
+                                       std::size_t jobs = 1);
 
 }  // namespace graybox::core

@@ -20,6 +20,11 @@ const char* to_string(Algorithm a) {
 SystemHarness::SystemHarness(HarnessConfig config)
     : config_(config), master_rng_(config.seed) {
   GBX_EXPECTS(config_.n >= 1);
+  // A heterogeneous algorithm vector must name exactly one algorithm per
+  // process; anything else is a misconfiguration that must fail fast here,
+  // never silently fall back to `algorithm`.
+  GBX_EXPECTS(config_.per_process_algorithms.empty() ||
+              config_.per_process_algorithms.size() == config_.n);
 
   net_ = std::make_unique<net::Network>(sched_, config_.n, config_.delay,
                                         master_rng_.split());

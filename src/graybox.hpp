@@ -13,6 +13,8 @@
 #pragma once
 
 #include "common/flags.hpp"     // IWYU pragma: export
+#include "common/parallel.hpp"  // IWYU pragma: export
+#include "common/report.hpp"    // IWYU pragma: export
 #include "common/rng.hpp"       // IWYU pragma: export
 #include "common/stats.hpp"     // IWYU pragma: export
 #include "common/table.hpp"     // IWYU pragma: export
@@ -57,6 +59,7 @@
 
 #include "wrapper/graybox_wrapper.hpp"  // IWYU pragma: export
 
+#include "core/engine.hpp"         // IWYU pragma: export
 #include "core/experiment.hpp"     // IWYU pragma: export
 #include "core/harness.hpp"        // IWYU pragma: export
 #include "core/stabilization.hpp"  // IWYU pragma: export

@@ -21,7 +21,54 @@ EventId Scheduler::schedule_after(SimTime delay, EventFn fn) {
 bool Scheduler::cancel(EventId id) {
   if (pending_ids_.erase(id) == 0) return false;
   cancelled_.insert(id);
+  compact_if_worthwhile();
   return true;
+}
+
+void Scheduler::compact_if_worthwhile() {
+  // Lazy deletion leaves (entry, tombstone) pairs in memory until the
+  // entry's time is reached — which for repeatedly re-armed far-future
+  // timers may be never. Rebuild once tombstones outnumber live events.
+  if (cancelled_.size() < 64 || cancelled_.size() <= pending_ids_.size())
+    return;
+  std::vector<Entry> live;
+  live.reserve(pending_ids_.size());
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(entry.id) > 0) continue;
+    live.push_back(std::move(entry));
+  }
+  for (Entry& entry : live) queue_.push(std::move(entry));
+  GBX_ENSURES(cancelled_.empty());
+  GBX_ENSURES(queue_.size() == pending_ids_.size());
+}
+
+ObserverId Scheduler::add_observer(Observer obs) {
+  GBX_EXPECTS(obs != nullptr);
+  const ObserverId id = next_observer_id_++;
+  observers_.push_back(ObserverSlot{id, std::move(obs)});
+  return id;
+}
+
+bool Scheduler::remove_observer(ObserverId id) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->id != id) continue;
+    if (dispatching_observers_) {
+      it->fn = nullptr;  // reclaimed after the dispatch round
+    } else {
+      observers_.erase(it);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::observer_count() const {
+  std::size_t count = 0;
+  for (const auto& slot : observers_)
+    if (slot.fn) ++count;
+  return count;
 }
 
 void Scheduler::execute(Entry entry) {
@@ -29,7 +76,15 @@ void Scheduler::execute(Entry entry) {
   pending_ids_.erase(entry.id);
   ++executed_;
   entry.fn();
-  for (const auto& obs : observers_) obs(now_);
+  dispatching_observers_ = true;
+  // Index loop: an observer may register further observers, which fire
+  // starting with the next event.
+  const std::size_t count = observers_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (observers_[i].fn) observers_[i].fn(now_);
+  }
+  dispatching_observers_ = false;
+  std::erase_if(observers_, [](const ObserverSlot& s) { return !s.fn; });
 }
 
 bool Scheduler::step() {

@@ -26,6 +26,9 @@ namespace graybox::sim {
 /// Handle for a scheduled event; usable with Scheduler::cancel.
 using EventId = std::uint64_t;
 
+/// Handle for a registered observer; usable with Scheduler::remove_observer.
+using ObserverId = std::uint64_t;
+
 class Scheduler {
  public:
   using EventFn = std::function<void()>;
@@ -70,9 +73,22 @@ class Scheduler {
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
-  /// Register a post-event observer (monitor hook). Observers cannot be
-  /// removed; they live as long as the scheduler.
-  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+  /// Register a post-event observer (monitor hook). Observers fire in
+  /// registration order; the returned handle removes one again.
+  ObserverId add_observer(Observer obs);
+
+  /// Unregister an observer. Safe to call from within an observer callback
+  /// (the slot is emptied immediately and reclaimed after the dispatch
+  /// round). Returns false for an unknown or already-removed handle.
+  bool remove_observer(ObserverId id);
+
+  std::size_t observer_count() const;
+
+  /// Cancelled-but-not-yet-reclaimed events. Cancellation is lazy (the
+  /// queue entry stays until popped or compacted); compaction in cancel()
+  /// keeps this bounded by the live event count, so long engine runs that
+  /// cancel far-future timers repeatedly cannot leak.
+  std::size_t tombstones() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -86,15 +102,24 @@ class Scheduler {
       return a.id > b.id;
     }
   };
+  struct ObserverSlot {
+    ObserverId id;
+    Observer fn;  // empty after removal
+  };
 
   void execute(Entry entry);
+  /// Rebuild the queue without the cancelled entries once tombstones
+  /// outnumber live events (amortized O(1) per cancel).
+  void compact_if_worthwhile();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;  // lazy-deletion tombstones
-  std::vector<Observer> observers_;
+  std::vector<ObserverSlot> observers_;
+  bool dispatching_observers_ = false;
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  ObserverId next_observer_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 

@@ -83,6 +83,8 @@ TEST(Contracts, ChecksRejectMismatchedStateSpaces) {
 }
 
 TEST(Contracts, HarnessRejectsMismatchedAlgorithmVector) {
+  // Fails fast in the constructor — never silently falls back to
+  // `algorithm` for the unnamed processes.
   EXPECT_DEATH(
       {
         core::HarnessConfig config;
@@ -91,6 +93,31 @@ TEST(Contracts, HarnessRejectsMismatchedAlgorithmVector) {
         core::SystemHarness h(config);
       },
       "precondition");
+}
+
+TEST(Contracts, HarnessRejectsOversizedAlgorithmVector) {
+  // Too many entries is just as much a misconfiguration as too few.
+  EXPECT_DEATH(
+      {
+        core::HarnessConfig config;
+        config.n = 2;
+        config.per_process_algorithms.assign(3, core::Algorithm::kLamport);
+        core::SystemHarness h(config);
+      },
+      "precondition");
+}
+
+TEST(Contracts, HarnessAcceptsExactOrEmptyAlgorithmVector) {
+  core::HarnessConfig config;
+  config.n = 2;
+  core::SystemHarness homogeneous(config);  // empty vector: all `algorithm`
+  EXPECT_EQ(homogeneous.process(0).algorithm(),
+            homogeneous.process(1).algorithm());
+
+  config.per_process_algorithms = {core::Algorithm::kRicartAgrawala,
+                                   core::Algorithm::kLamport};
+  core::SystemHarness mixed(config);  // size == n: honoured per process
+  EXPECT_EQ(mixed.process(1).algorithm(), "lamport");
 }
 
 TEST(Contracts, ProcessRejectsOutOfRangePeerQueries) {

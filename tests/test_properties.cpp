@@ -3,6 +3,7 @@
 // fault pressure once it stops, and structural properties of the traffic.
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/harness.hpp"
 
@@ -71,9 +72,10 @@ INSTANTIATE_TEST_SUITE_P(Grid, FaultFreeGrid, ::testing::ValuesIn(grid()),
 
 // --- Continuous fault pressure, then calm -------------------------------------
 
-class ContinuousPressure : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(ContinuousPressure, CleanSuffixAfterFaultsStop) {
+TEST(ContinuousPressure, CleanSuffixAfterFaultsStop) {
+  // Seeds 400..405, fanned out by the engine (jobs > 1 also exercises the
+  // concurrent scripted_fault path: the callable captures nothing and each
+  // call only touches its own harness).
   HarnessConfig config;
   config.n = 4;
   config.algorithm = Algorithm::kRicartAgrawala;
@@ -81,32 +83,29 @@ TEST_P(ContinuousPressure, CleanSuffixAfterFaultsStop) {
   config.wrapper.resend_period = 20;
   config.client.think_mean = 35;
   config.client.eat_mean = 6;
-  config.seed = GetParam();
-  SystemHarness h(config);
-  h.start();
+  config.seed = 400;
+
+  FaultScenario scenario;
+  scenario.warmup = 300;
+  scenario.observation = 8700;
+  scenario.drain = 4000;
   // One random fault every 150 ticks for 3000 ticks, then calm.
-  h.faults().schedule_continuous(300, 3300, 150, net::FaultMix::all());
-  h.run_for(9000);
-  h.drain(4000);
+  scenario.scripted_fault = [](SystemHarness& h) {
+    const SimTime now = h.scheduler().now();
+    h.faults().schedule_continuous(now, now + 3000, 150,
+                                   net::FaultMix::all());
+  };
 
-  const StabilizationReport report = h.stabilization_report();
-  EXPECT_TRUE(report.stabilized) << report.to_string();
-  ASSERT_TRUE(report.faults_injected);
-  // The clean suffix: whatever violations occurred ended within the
-  // observation window, well before the end of the run.
-  if (report.last_safety_violation != kNever) {
-    EXPECT_LT(report.last_safety_violation, 9000u + 4000u);
-  }
-  // Service resumed: processes kept eating after the fault window.
-  EXPECT_GT(h.stats().cs_entries, 20u);
+  const RepeatedResult result = repeat_fault_experiment(
+      config, scenario, /*trials=*/6, /*jobs=*/2);
+  // Every seed recovered once the pressure stopped...
+  EXPECT_TRUE(result.all_stabilized())
+      << result.stabilized << "/" << result.trials << " stabilized";
+  EXPECT_EQ(result.starved, 0u);
+  // ...and service resumed in every trial after the fault window.
+  ASSERT_EQ(result.cs_entries.count(), 6u);
+  EXPECT_GT(result.cs_entries.min(), 20.0);
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousPressure,
-                         ::testing::Range(std::uint64_t{400},
-                                          std::uint64_t{406}),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
-                         });
 
 // --- Traffic structure ------------------------------------------------------------
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "me/client.hpp"
 #include "me/lamport.hpp"
 #include "me/ricart_agrawala.hpp"
@@ -242,6 +243,57 @@ TEST(CorruptedHighView, TransientDoubleEntryThenHeals) {
   rig.p(1).request_cs();
   rig.sched.run_until(400);
   EXPECT_EQ((rig.p(0).eating() ? 1 : 0) + (rig.p(1).eating() ? 1 : 0), 1);
+}
+
+// --- The same Section 4 script, driven through the engine ---------------------
+
+TEST(Section4, EngineGridReproducesTheDeadlockVerdicts) {
+  // The scripted deadlock as a four-cell engine grid (algorithm x wrapped),
+  // run with two workers: the scripted_fault callable is shared by
+  // concurrent trials, capturing nothing and touching only the harness it
+  // is handed — the thread-safety contract RunSpec documents.
+  core::FaultScenario scenario;
+  scenario.warmup = 100;
+  scenario.observation = 8000;
+  scenario.drain = 6000;
+  scenario.scripted_fault = [](core::SystemHarness& h) {
+    h.process(0).request_cs();
+    h.process(1).request_cs();
+    for (ProcessId to = 0; to < h.network().size(); ++to) {
+      if (to != 0) h.network().channel(0, to).fault_clear();
+      if (to != 1) h.network().channel(1, to).fault_clear();
+    }
+  };
+
+  core::SpecGrid grid;
+  for (const core::Algorithm algo :
+       {core::Algorithm::kRicartAgrawala, core::Algorithm::kLamport}) {
+    for (const bool wrapped : {false, true}) {
+      core::HarnessConfig config;
+      config.n = 3;
+      config.algorithm = algo;
+      config.wrapped = wrapped;
+      config.wrapper.resend_period = 20;
+      config.client.wants_cs = false;  // scripted requests only
+      config.seed = 7;
+      grid.add(std::string(core::to_string(algo)) +
+                   (wrapped ? "/wrapped" : "/bare"),
+               config, scenario, 1);
+    }
+  }
+  const core::GridResult result =
+      core::ExperimentEngine(core::EngineOptions{.jobs = 2}).run(grid);
+
+  for (const char* algo : {"ricart-agrawala", "lamport"}) {
+    const core::RepeatedResult& bare =
+        result.cell(std::string(algo) + "/bare").result;
+    const core::RepeatedResult& wrapped =
+        result.cell(std::string(algo) + "/wrapped").result;
+    EXPECT_EQ(bare.stabilized, 0u) << algo;    // deadlocked forever
+    EXPECT_EQ(bare.starved, 1u) << algo;
+    EXPECT_TRUE(wrapped.all_stabilized()) << algo;
+    EXPECT_GE(wrapped.cs_entries.sum(), 2.0) << algo;
+  }
 }
 
 }  // namespace

@@ -173,6 +173,79 @@ TEST(Scheduler, StepExecutesExactlyOne) {
   EXPECT_FALSE(sched.step());
 }
 
+TEST(Scheduler, TombstonesStayBoundedByLiveEvents) {
+  // The re-arm pattern every wrapper timer uses: schedule a far-future
+  // event, cancel it, repeat. Lazy deletion alone would accumulate one
+  // tombstone per iteration forever; compaction keeps the count bounded
+  // by max(live events, compaction threshold).
+  Scheduler sched;
+  sched.schedule_at(1'000'000, [] {});  // one live far-future event
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = sched.schedule_at(500'000, [] {});
+    sched.cancel(id);
+  }
+  EXPECT_LT(sched.tombstones(), 128u);
+  EXPECT_EQ(sched.pending(), 1u);
+  // The surviving event still runs.
+  int ran = 0;
+  sched.schedule_at(1'000'001, [&] { ++ran; });
+  sched.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sched.tombstones(), 0u);
+}
+
+TEST(Scheduler, CompactionPreservesOrderAndCancellation) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  const EventId doomed = sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.cancel(doomed);
+  // Force a compaction pass with churn well past the threshold.
+  for (int i = 0; i < 200; ++i) sched.cancel(sched.schedule_at(40, [] {}));
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Scheduler, RemoveObserverByHandle) {
+  Scheduler sched;
+  int a_count = 0, b_count = 0;
+  const ObserverId a = sched.add_observer([&](SimTime) { ++a_count; });
+  sched.add_observer([&](SimTime) { ++b_count; });
+  EXPECT_EQ(sched.observer_count(), 2u);
+
+  sched.schedule_at(1, [] {});
+  sched.run_all();
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 1);
+
+  EXPECT_TRUE(sched.remove_observer(a));
+  EXPECT_FALSE(sched.remove_observer(a));  // already gone
+  EXPECT_EQ(sched.observer_count(), 1u);
+
+  sched.schedule_at(2, [] {});
+  sched.run_all();
+  EXPECT_EQ(a_count, 1);  // no longer invoked
+  EXPECT_EQ(b_count, 2);
+}
+
+TEST(Scheduler, ObserverMayRemoveItselfDuringDispatch) {
+  Scheduler sched;
+  int once = 0, always = 0;
+  ObserverId self = 0;
+  self = sched.add_observer([&](SimTime) {
+    ++once;
+    EXPECT_TRUE(sched.remove_observer(self));
+  });
+  sched.add_observer([&](SimTime) { ++always; });
+  sched.schedule_at(1, [] {});
+  sched.schedule_at(2, [] {});
+  sched.run_all();
+  EXPECT_EQ(once, 1);    // fired once, then unhooked itself mid-dispatch
+  EXPECT_EQ(always, 2);  // the later slot was still dispatched both times
+  EXPECT_EQ(sched.observer_count(), 1u);
+}
+
 // --- PeriodicTimer -------------------------------------------------------
 
 TEST(PeriodicTimer, FiresEveryPeriod) {

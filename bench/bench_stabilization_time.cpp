@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("trials", 15));
   const ExperimentEngine engine(engine_options_from_flags(flags));
 
-  const std::size_t sizes[] = {2, 3, 4, 6, 8, 10, 12};
+  const std::size_t sizes[] = {2, 3, 4, 6, 8, 10, 12, 16, 24};
   const std::size_t bursts[] = {2, 5, 10, 20, 40, 80};
   const std::size_t bare_bursts[] = {10, 40, 80};
   const Algorithm algos[] = {Algorithm::kRicartAgrawala, Algorithm::kLamport};

@@ -8,6 +8,9 @@
 // removes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "algebra/generate.hpp"
 #include "core/engine.hpp"
 #include "core/harness.hpp"
+#include "lspec/lspec_clause_monitors.hpp"
 #include "lspec/snapshot.hpp"
 #include "lspec/tme_monitors.hpp"
 #include "me/ricart_agrawala.hpp"
@@ -94,29 +98,106 @@ void BM_RicartAgrawalaFullCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_RicartAgrawalaFullCycle)->Arg(3)->Arg(6)->Arg(12);
 
-void BM_SnapshotCaptureAndMonitor(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+// --- E10 centerpiece: the observation hot path, before and after ------------
+//
+// Three variants of "snapshot + full monitor battery per simulator event",
+// identical systems and identical monitor sets:
+//
+//   FullReference   - the pre-delta pipeline: allocate a fresh snapshot,
+//                     fill all N rows, copy it into the monitor set
+//                     (SnapshotSource::capture_full + MonitorSet::observe).
+//   DeltaDirtyRotation - the shipping pipeline under its design load: one
+//                     process event per capture (the simulator's
+//                     one-process-per-event guarantee), so exactly one row
+//                     is rewritten and per-clause monitors check one row.
+//   DeltaSteadyState - the shipping pipeline when nothing changed at all
+//                     (kDirtyNone): the floor of the observation cost.
+//
+// Each reports events_per_sec and capture_ns_per_event counters, so the
+// before/after ratio is a straight division of two JSON fields.
+
+struct ObservationRig {
+  explicit ObservationRig(std::size_t n)
+      : net(sched, n, net::DelayModel::fixed(1), Rng(1)) {
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      procs.push_back(std::make_unique<me::RicartAgrawala>(pid, net));
+      raw.push_back(procs.back().get());
+      auto* p = procs.back().get();
+      net.set_handler(pid, [p](const net::Message& m) { p->on_message(m); });
+    }
+    source.emplace(raw, net);
+    lspec::install_tme_monitors(monitors, n);
+    lspec::install_lspec_clause_monitors(monitors, n);
+  }
+
   sim::Scheduler sched;
-  net::Network net(sched, n, net::DelayModel::fixed(1), Rng(1));
+  net::Network net;
   std::vector<std::unique_ptr<me::RicartAgrawala>> procs;
   std::vector<me::TmeProcess*> raw;
-  for (ProcessId pid = 0; pid < n; ++pid) {
-    procs.push_back(std::make_unique<me::RicartAgrawala>(pid, net));
-    raw.push_back(procs.back().get());
-    auto* p = procs.back().get();
-    net.set_handler(pid, [p](const net::Message& m) { p->on_message(m); });
-  }
-  lspec::SnapshotSource source(raw, net);
+  std::optional<lspec::SnapshotSource> source;
   lspec::TmeMonitorSet monitors;
-  lspec::install_tme_monitors(monitors, n);
+};
+
+void set_observation_counters(benchmark::State& state) {
+  state.SetItemsProcessed(state.iterations());
+  const auto events = static_cast<double>(state.iterations());
+  state.counters["events_per_sec"] =
+      benchmark::Counter(events, benchmark::Counter::kIsRate);
+  state.counters["capture_ns_per_event"] = benchmark::Counter(
+      events * 1e-9,
+      benchmark::Counter::Flags(benchmark::Counter::kIsRate |
+                                benchmark::Counter::kInvert));
+}
+
+void BM_ObserveFullReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ObservationRig rig(n);
   SimTime t = 0;
   for (auto _ : state) {
     ++t;
-    monitors.observe(t, source.capture(t));
+    rig.procs[t % n]->poll();  // one process event, as in a live run
+    rig.monitors.observe(t, rig.source->capture_full(t));
   }
-  state.SetItemsProcessed(state.iterations());
+  set_observation_counters(state);
 }
-BENCHMARK(BM_SnapshotCaptureAndMonitor)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_ObserveFullReference)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24);
+
+void BM_ObserveDeltaDirtyRotation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ObservationRig rig(n);
+  SimTime t = 0;
+  for (auto _ : state) {
+    ++t;
+    rig.procs[t % n]->poll();  // dirties exactly one observation row
+    const lspec::GlobalSnapshot& cur = rig.source->capture(t);
+    rig.monitors.observe_ref(t, cur, rig.source->last_dirty());
+  }
+  set_observation_counters(state);
+}
+BENCHMARK(BM_ObserveDeltaDirtyRotation)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(24);
+
+void BM_ObserveDeltaSteadyState(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ObservationRig rig(n);
+  SimTime t = 0;
+  for (auto _ : state) {
+    ++t;
+    const lspec::GlobalSnapshot& cur = rig.source->capture(t);
+    rig.monitors.observe_ref(t, cur, rig.source->last_dirty());
+  }
+  set_observation_counters(state);
+}
+BENCHMARK(BM_ObserveDeltaSteadyState)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(24);
 
 void BM_HarnessSimulatedSecond(benchmark::State& state) {
   // One "simulated kilotick" of a busy 5-process wrapped system, with and
@@ -197,17 +278,57 @@ BENCHMARK(BM_EngineSmallCell)->Arg(1)->Arg(2);
 // Custom main instead of BENCHMARK_MAIN(): display results on the console
 // AND write the google-benchmark JSON report as the binary's
 // BENCH_substrate_micro.json artifact, matching the engine-backed benches.
+//
+// For uniformity with those benches the engine-style flags are accepted and
+// translated to google-benchmark ones:
+//
+//   --trials N   -> --benchmark_min_time=<0.05*N>  (N=1 is the CI smoke:
+//                   one short measurement pass per benchmark)
+//   --json PATH  -> --benchmark_out=PATH; "--json -" suppresses the file
+//                   artifact entirely (console output only)
 int main(int argc, char** argv) {
+  std::vector<std::string> translated;
+  bool has_out = false;
+  bool suppress_out = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& flag) -> std::string {
+      // Accepts "--flag value" and "--flag=value".
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+      return {};
+    };
+    if (arg == "--trials" || arg.rfind("--trials=", 0) == 0) {
+      const double trials = std::max(1.0, std::atof(value_of("--trials").c_str()));
+      translated.push_back("--benchmark_min_time=" +
+                           std::to_string(0.05 * trials));
+      continue;
+    }
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      const std::string path = value_of("--json");
+      if (path == "-") {
+        suppress_out = true;
+      } else if (!path.empty()) {
+        translated.push_back("--benchmark_out=" + path);
+        has_out = true;
+      }
+      continue;
+    }
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    translated.push_back(arg);
+  }
   // The library requires --benchmark_out when a file reporter is passed to
   // RunSpecifiedBenchmarks; default it to the standard artifact path so a
   // bare invocation behaves like the engine-backed benches.
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_substrate_micro.json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out && !suppress_out) {
+    translated.push_back("--benchmark_out=BENCH_substrate_micro.json");
   }
-  if (!has_out) args.push_back(out_flag.data());
+
+  std::vector<std::string> arg_storage;
+  arg_storage.push_back(argv[0]);
+  for (auto& a : translated) arg_storage.push_back(a);
+  std::vector<char*> args;
+  for (auto& a : arg_storage) args.push_back(a.data());
   args.push_back(nullptr);
   int args_count = static_cast<int>(args.size()) - 1;
   benchmark::Initialize(&args_count, args.data());
@@ -215,8 +336,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::ConsoleReporter console;
-  benchmark::JSONReporter json;
-  benchmark::RunSpecifiedBenchmarks(&console, &json);
+  if (suppress_out) {
+    benchmark::RunSpecifiedBenchmarks(&console);
+  } else {
+    benchmark::JSONReporter json;
+    benchmark::RunSpecifiedBenchmarks(&console, &json);
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -61,6 +61,11 @@ int main(int argc, char** argv) {
   std::cout << "total CS entries " << system.stats().cs_entries
             << ", wrapper resends " << system.stats().wrapper_messages
             << "\n";
+  std::cout << "violations by clause:";
+  for (const auto& [name, total] : system.monitors().violations_total_by_monitor()) {
+    if (total > 0) std::cout << " " << name << "=" << total;
+  }
+  std::cout << "\n";
   std::cout << "\nThe run " << (report.stabilized ? "STABILIZED" : "FAILED")
             << ": every TME Spec violation is confined to the window right "
                "after the burst, exactly as Theorem 8 promises.\n";

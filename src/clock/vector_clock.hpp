@@ -37,6 +37,8 @@ class VectorClock {
 
   std::size_t size() const { return components_.size(); }
   std::uint64_t component(std::size_t i) const { return components_.at(i); }
+  /// Raw component array (monitor-side flattened snapshot rows copy it).
+  const std::vector<std::uint64_t>& components() const { return components_; }
 
   std::string to_string() const;
 

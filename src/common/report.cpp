@@ -234,6 +234,8 @@ std::string strip_volatile_lines(const std::string& pretty_json) {
   while (std::getline(in, line)) {
     if (line.find("\"wall") != std::string::npos) continue;
     if (line.find("\"jobs\"") != std::string::npos) continue;
+    if (line.find("\"observe_ns") != std::string::npos) continue;
+    if (line.find("\"events_per_sec\"") != std::string::npos) continue;
     out << line << '\n';
   }
   return out.str();

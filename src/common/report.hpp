@@ -87,8 +87,9 @@ std::string bench_name_from_program(const std::string& program_path);
 /// failure: losing a bench artifact silently would defeat the point.
 void write_json_file(const std::string& path, const Json& doc);
 
-/// Drop every line whose key mentions wall-clock time or the jobs count —
-/// the only legitimately run-dependent fields — so two runs of the same
+/// Drop every line whose key carries a legitimately run-dependent value —
+/// wall-clock time, the jobs count, and the wall-clock-derived perf fields
+/// (observe_ns_per_event, events_per_sec) — so two runs of the same
 /// experiment can be compared byte-for-byte.
 std::string strip_volatile_lines(const std::string& pretty_json);
 

@@ -221,6 +221,13 @@ report::Json cell_to_json(const CellResult& cell) {
   j["cs_entries"] = accumulator_to_json(cell.result.cs_entries);
   j["max_wait"] = accumulator_to_json(cell.result.max_wait);
   j["events"] = accumulator_to_json(cell.result.events);
+  // Perf-trajectory fields, wall-clock derived and therefore volatile
+  // (stripped alongside wall_seconds by strip_volatile_lines).
+  const double events_sum = cell.result.events.sum();
+  j["observe_ns_per_event"] =
+      events_sum > 0 ? cell.result.observe_ns_total / events_sum : 0.0;
+  j["events_per_sec"] =
+      cell.wall_seconds > 0 ? events_sum / cell.wall_seconds : 0.0;
   j["wall_seconds"] = cell.wall_seconds;
   return j;
 }

@@ -47,6 +47,7 @@ void RepeatedResult::add(const ExperimentResult& result) {
   cs_entries.add(static_cast<double>(result.stats.cs_entries));
   max_wait.add(static_cast<double>(result.stats.me2_max_wait));
   events.add(static_cast<double>(result.stats.events_executed));
+  observe_ns_total += static_cast<double>(result.stats.observe_ns);
 }
 
 void RepeatedResult::merge(const RepeatedResult& other) {
@@ -62,6 +63,7 @@ void RepeatedResult::merge(const RepeatedResult& other) {
   cs_entries.merge(other.cs_entries);
   max_wait.merge(other.max_wait);
   events.merge(other.events);
+  observe_ns_total += other.observe_ns_total;
 }
 
 RepeatedResult repeat_fault_experiment(HarnessConfig config,

@@ -69,6 +69,9 @@ struct RepeatedResult {
   Accumulator cs_entries;
   Accumulator max_wait;          ///< ME2 worst-case waiting time per trial
   Accumulator events;            ///< simulator events executed per trial
+  /// Summed observation-hot-path nanoseconds across trials (volatile:
+  /// wall-clock derived, stripped from determinism comparisons).
+  double observe_ns_total = 0.0;
 
   /// Fold one trial's outcome.
   void add(const ExperimentResult& result);

@@ -1,5 +1,7 @@
 #include "core/harness.hpp"
 
+#include <chrono>
+
 #include "common/contracts.hpp"
 #include "core/stabilization.hpp"
 
@@ -72,8 +74,23 @@ SystemHarness::SystemHarness(HarnessConfig config)
       lspec_handles_ =
           lspec::install_lspec_clause_monitors(monitor_set_, config_.n);
     }
+    // The observation hot path: one snapshot + monitor pass per executed
+    // event. The delta pipeline reuses the source's double buffer and tells
+    // the monitors which process row changed; the reference path is the
+    // legacy allocate-and-copy capture kept for golden-equivalence tests.
     sched_.add_observer([this](SimTime t) {
-      monitor_set_.observe(t, snapshots_->capture(t));
+      if (monitor_set_.empty()) return;  // nothing to feed: skip capture
+      const auto start = std::chrono::steady_clock::now();
+      if (config_.reference_full_capture) {
+        monitor_set_.observe(t, snapshots_->capture_full(t));
+      } else {
+        const lspec::GlobalSnapshot& cur = snapshots_->capture(t);
+        monitor_set_.observe_ref(t, cur, snapshots_->last_dirty());
+      }
+      observe_ns_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
     });
   }
 
@@ -215,6 +232,7 @@ RunStats SystemHarness::stats() const {
     stats.me2_max_wait = tm.me2->max_wait();
   }
   stats.lspec_clause_violations = lspec_handles_.total_violations();
+  stats.observe_ns = observe_ns_;
   return stats;
 }
 

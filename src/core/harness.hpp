@@ -73,6 +73,13 @@ struct HarnessConfig {
   /// Entry Specs). Requires install_monitors.
   bool install_lspec_monitors = true;
 
+  /// Observe through the legacy allocate-and-copy full-capture path
+  /// instead of the zero-copy delta pipeline. Observationally equivalent
+  /// by contract — tests/test_snapshot_delta.cpp holds the two paths to
+  /// identical verdicts — and excluded from config_digest for exactly that
+  /// reason. Only golden-equivalence tests should set this.
+  bool reference_full_capture = false;
+
   /// Keep a rolling human-readable event trace of this many records
   /// (sends, deliveries, state transitions, faults). 0 disables tracing.
   std::size_t trace_capacity = 0;
@@ -95,6 +102,10 @@ struct RunStats {
   std::uint64_t lspec_clause_violations = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t events_executed = 0;
+  /// Wall nanoseconds spent in the observation hot path (snapshot capture
+  /// + monitor stepping), summed over all events. Volatile: excluded from
+  /// determinism comparisons.
+  std::uint64_t observe_ns = 0;
 };
 
 /// Verdict on a completed (drained) run; see stabilization.hpp.
@@ -165,6 +176,7 @@ class SystemHarness {
   lspec::TmeMonitors tme_handles_;
   lspec::LspecClauseMonitors lspec_handles_;
   sim::Trace trace_{0};
+  std::uint64_t observe_ns_ = 0;
   std::unique_ptr<lspec::StructuralSpecMonitor> structural_;
   std::unique_ptr<lspec::SendMonotonicityMonitor> send_mono_;
   std::unique_ptr<lspec::FifoMonitor> fifo_;

@@ -19,6 +19,13 @@ bool legal_flow(TmeState from, TmeState to) {
          (from == S::kThinking && to == S::kEating);
 }
 
+// Every clause below is per-process-local: what it reports about process j
+// depends only on row j of the snapshot pair. That is what makes the
+// step_delta overrides sound — a row outside the dirty hint is bit-identical
+// to its predecessor, so skipping it can neither miss a transition nor
+// change a per-row obligation (eating_since_ etc. are functions of the row
+// history, which didn't advance).
+
 /// Flow Spec over snapshots: each process moves only along t -> h -> e -> t
 /// (or stays put) between consecutive global states.
 class FlowSpecSnapshotMonitor : public TmeMonitor {
@@ -27,13 +34,26 @@ class FlowSpecSnapshotMonitor : public TmeMonitor {
 
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override {
-    for (std::size_t j = 0; j < cur.procs.size(); ++j) {
-      if (!legal_flow(prev.procs[j].state, cur.procs[j].state)) {
-        report(t, "process " + std::to_string(j) + " jumped " +
-                      std::string(me::to_string(prev.procs[j].state)) +
-                      " -> " +
-                      std::string(me::to_string(cur.procs[j].state)));
-      }
+    for (std::size_t j = 0; j < cur.procs.size(); ++j) check(t, prev, cur, j);
+  }
+
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override {
+    if (dirty == spec::kDirtyNone) return;
+    if (dirty == spec::kDirtyAll) {
+      step(t, prev, cur);
+      return;
+    }
+    check(t, prev, cur, dirty);
+  }
+
+ private:
+  void check(SimTime t, const GlobalSnapshot& prev, const GlobalSnapshot& cur,
+             std::size_t j) {
+    if (!legal_flow(prev.procs[j].state, cur.procs[j].state)) {
+      report(t, "process " + std::to_string(j) + " jumped " +
+                    std::string(me::to_string(prev.procs[j].state)) + " -> " +
+                    std::string(me::to_string(cur.procs[j].state)));
     }
   }
 };
@@ -50,6 +70,15 @@ class CsTransientMonitor : public TmeMonitor {
             const GlobalSnapshot& cur) override {
     scan(t, cur);
   }
+  void step_delta(SimTime t, const GlobalSnapshot&, const GlobalSnapshot& cur,
+                  std::size_t dirty) override {
+    if (dirty == spec::kDirtyNone) return;
+    if (dirty == spec::kDirtyAll) {
+      scan(t, cur);
+      return;
+    }
+    scan_row(t, cur, dirty);
+  }
   void finish(SimTime, const GlobalSnapshot&) override {
     for (std::size_t j = 0; j < eating_since_.size(); ++j) {
       if (eating_since_[j] == kNever) continue;
@@ -60,14 +89,15 @@ class CsTransientMonitor : public TmeMonitor {
   }
 
  private:
-  void scan(SimTime t, const GlobalSnapshot& s) {
-    for (std::size_t j = 0; j < s.procs.size(); ++j) {
-      if (s.procs[j].eating()) {
-        if (eating_since_[j] == kNever) eating_since_[j] = t;
-      } else {
-        eating_since_[j] = kNever;
-      }
+  void scan_row(SimTime t, const GlobalSnapshot& s, std::size_t j) {
+    if (s.procs[j].eating()) {
+      if (eating_since_[j] == kNever) eating_since_[j] = t;
+    } else {
+      eating_since_[j] = kNever;
     }
+  }
+  void scan(SimTime t, const GlobalSnapshot& s) {
+    for (std::size_t j = 0; j < s.procs.size(); ++j) scan_row(t, s, j);
   }
   std::vector<SimTime> eating_since_;
 };
@@ -80,40 +110,87 @@ class RequestFrozenMonitor : public TmeMonitor {
 
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override {
-    for (std::size_t j = 0; j < cur.procs.size(); ++j) {
-      if (prev.procs[j].hungry() && cur.procs[j].hungry() &&
-          !(prev.procs[j].req == cur.procs[j].req)) {
-        report(t, "process " + std::to_string(j) + " REQ moved " +
-                      prev.procs[j].req.to_string() + " -> " +
-                      cur.procs[j].req.to_string() + " while hungry");
-      }
+    for (std::size_t j = 0; j < cur.procs.size(); ++j) check(t, prev, cur, j);
+  }
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override {
+    if (dirty == spec::kDirtyNone) return;
+    if (dirty == spec::kDirtyAll) {
+      step(t, prev, cur);
+      return;
+    }
+    check(t, prev, cur, dirty);
+  }
+
+ private:
+  void check(SimTime t, const GlobalSnapshot& prev, const GlobalSnapshot& cur,
+             std::size_t j) {
+    if (prev.procs[j].hungry() && cur.procs[j].hungry() &&
+        !(prev.procs[j].req == cur.procs[j].req)) {
+      report(t, "process " + std::to_string(j) + " REQ moved " +
+                    prev.procs[j].req.to_string() + " -> " +
+                    cur.procs[j].req.to_string() + " while hungry");
     }
   }
 };
 
 /// CS Release Spec: t.j => REQj = ts.j (REQ glued to the clock of the most
 /// recent event while thinking).
+///
+/// This clause reports on EVERY observed state while a row is bad, not only
+/// on transitions into badness (the stabilization detector needs the exact
+/// time the violation ended). The delta path therefore keeps a per-row bad
+/// set: dirty rows update their flag, and as long as any row is bad the
+/// full reporting sweep runs — identical reports to the full scan, but O(1)
+/// per event on the (overwhelmingly common) all-clean path.
 class ReleaseTracksClockMonitor : public TmeMonitor {
  public:
-  ReleaseTracksClockMonitor() : TmeMonitor("Lspec/CsReleaseSpec") {}
+  explicit ReleaseTracksClockMonitor(std::size_t n)
+      : TmeMonitor("Lspec/CsReleaseSpec"), bad_(n, 0) {}
 
-  void begin(SimTime t, const GlobalSnapshot& s0) override { check(t, s0); }
+  void begin(SimTime t, const GlobalSnapshot& s0) override {
+    update_all(s0);
+    report_bad(t, s0);
+  }
   void step(SimTime t, const GlobalSnapshot&,
             const GlobalSnapshot& cur) override {
-    check(t, cur);
+    update_all(cur);
+    report_bad(t, cur);
+  }
+  void step_delta(SimTime t, const GlobalSnapshot&, const GlobalSnapshot& cur,
+                  std::size_t dirty) override {
+    if (dirty == spec::kDirtyAll) {
+      update_all(cur);
+    } else if (dirty != spec::kDirtyNone) {
+      update_row(cur, dirty);
+    }
+    report_bad(t, cur);
   }
 
  private:
-  void check(SimTime t, const GlobalSnapshot& s) {
-    for (std::size_t j = 0; j < s.procs.size(); ++j) {
-      if (s.procs[j].thinking() &&
-          !(s.procs[j].req == s.procs[j].clock_now)) {
-        report(t, "process " + std::to_string(j) + " thinking with REQ " +
-                      s.procs[j].req.to_string() + " != ts " +
-                      s.procs[j].clock_now.to_string());
-      }
+  void update_row(const GlobalSnapshot& s, std::size_t j) {
+    const char bad =
+        (s.procs[j].thinking() && !(s.procs[j].req == s.procs[j].clock_now))
+            ? 1
+            : 0;
+    bad_count_ += static_cast<std::size_t>(bad) -
+                  static_cast<std::size_t>(bad_[j]);
+    bad_[j] = bad;
+  }
+  void update_all(const GlobalSnapshot& s) {
+    for (std::size_t j = 0; j < s.procs.size(); ++j) update_row(s, j);
+  }
+  void report_bad(SimTime t, const GlobalSnapshot& s) {
+    if (bad_count_ == 0) return;
+    for (std::size_t j = 0; j < bad_.size(); ++j) {
+      if (!bad_[j]) continue;
+      report(t, "process " + std::to_string(j) + " thinking with REQ " +
+                    s.procs[j].req.to_string() + " != ts " +
+                    s.procs[j].clock_now.to_string());
     }
   }
+  std::vector<char> bad_;
+  std::size_t bad_count_ = 0;
 };
 
 /// CS Entry Spec's progress half: when a process knows all peers' requests
@@ -128,6 +205,15 @@ class EntryTakenMonitor : public TmeMonitor {
             const GlobalSnapshot& cur) override {
     scan(t, cur);
   }
+  void step_delta(SimTime t, const GlobalSnapshot&, const GlobalSnapshot& cur,
+                  std::size_t dirty) override {
+    if (dirty == spec::kDirtyNone) return;
+    if (dirty == spec::kDirtyAll) {
+      scan(t, cur);
+      return;
+    }
+    scan_row(t, cur, dirty);
+  }
   void finish(SimTime, const GlobalSnapshot&) override {
     for (std::size_t j = 0; j < enabled_since_.size(); ++j) {
       if (enabled_since_[j] == kNever) continue;
@@ -138,21 +224,22 @@ class EntryTakenMonitor : public TmeMonitor {
   }
 
  private:
-  static bool entry_enabled(const ProcessSnapshot& p, std::size_t self) {
-    if (!p.hungry()) return false;
-    for (std::size_t k = 0; k < p.knows_earlier.size(); ++k) {
-      if (k != self && !p.knows_earlier[k]) return false;
+  static bool entry_enabled(const GlobalSnapshot& s, std::size_t j) {
+    if (!s.procs[j].hungry()) return false;
+    for (std::size_t k = 0; k < s.procs.size(); ++k) {
+      if (k != j && !s.knows_earlier(j, k)) return false;
     }
     return true;
   }
-  void scan(SimTime t, const GlobalSnapshot& s) {
-    for (std::size_t j = 0; j < s.procs.size(); ++j) {
-      if (entry_enabled(s.procs[j], j)) {
-        if (enabled_since_[j] == kNever) enabled_since_[j] = t;
-      } else {
-        enabled_since_[j] = kNever;
-      }
+  void scan_row(SimTime t, const GlobalSnapshot& s, std::size_t j) {
+    if (entry_enabled(s, j)) {
+      if (enabled_since_[j] == kNever) enabled_since_[j] = t;
+    } else {
+      enabled_since_[j] = kNever;
     }
+  }
+  void scan(SimTime t, const GlobalSnapshot& s) {
+    for (std::size_t j = 0; j < s.procs.size(); ++j) scan_row(t, s, j);
   }
   std::vector<SimTime> enabled_since_;
 };
@@ -188,7 +275,7 @@ LspecClauseMonitors install_lspec_clause_monitors(TmeMonitorSet& set,
   handles.flow = &set.add<FlowSpecSnapshotMonitor>();
   handles.cs_transient = &set.add<CsTransientMonitor>(n);
   handles.request_frozen = &set.add<RequestFrozenMonitor>();
-  handles.release_tracks_clock = &set.add<ReleaseTracksClockMonitor>();
+  handles.release_tracks_clock = &set.add<ReleaseTracksClockMonitor>(n);
   handles.entry_taken = &set.add<EntryTakenMonitor>(n);
   return handles;
 }

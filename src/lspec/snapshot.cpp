@@ -1,8 +1,23 @@
 #include "lspec/snapshot.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 
 namespace graybox::lspec {
+
+void GlobalSnapshot::resize(std::size_t n) {
+  procs.assign(n, ProcessSnapshot{});
+  knows_.assign(n * n, 0);
+  vc_.assign(n * n, 0);
+}
+
+void GlobalSnapshot::set_vc(std::size_t j, const clk::VectorClock& vc) {
+  GBX_EXPECTS(j < procs.size());
+  GBX_EXPECTS(vc.size() == procs.size());
+  const auto& components = vc.components();
+  std::copy(components.begin(), components.end(), vc_row_mut(j));
+}
 
 std::size_t GlobalSnapshot::eating_count() const {
   std::size_t count = 0;
@@ -24,27 +39,74 @@ SnapshotSource::SnapshotSource(std::vector<me::TmeProcess*> processes,
   GBX_EXPECTS(!processes_.empty());
   GBX_EXPECTS(processes_.size() == net_.size());
   for (const auto* p : processes_) GBX_EXPECTS(p != nullptr);
+  const std::size_t n = processes_.size();
+  for (std::size_t b = 0; b < 2; ++b) {
+    buffers_[b].resize(n);
+    row_versions_[b].assign(n, 0);
+  }
 }
 
-GlobalSnapshot SnapshotSource::capture(SimTime t) const {
-  GlobalSnapshot snap;
+void SnapshotSource::write_row(GlobalSnapshot& snap, std::size_t j) const {
+  const me::TmeProcess& p = *processes_[j];
+  ProcessSnapshot& ps = snap.procs[j];
+  ps.state = p.state();
+  ps.req = p.req();
+  ps.clock_now = p.clock().now();
+  snap.set_vc(j, net_.vclock(static_cast<ProcessId>(j)));
+  char* knows = snap.knows_row_mut(j);
+  const std::size_t n = processes_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    knows[k] =
+        (k != j && p.knows_earlier(static_cast<ProcessId>(k))) ? 1 : 0;
+  }
+}
+
+const GlobalSnapshot& SnapshotSource::capture(SimTime t) {
+  const std::size_t n = processes_.size();
+  const std::size_t back = 1 - cur_;
+  GlobalSnapshot& snap = buffers_[back];
   snap.time = t;
   snap.in_flight = net_.in_flight();
-  snap.procs.resize(processes_.size());
-  for (std::size_t j = 0; j < processes_.size(); ++j) {
-    const me::TmeProcess& p = *processes_[j];
-    ProcessSnapshot& ps = snap.procs[j];
-    ps.state = p.state();
-    ps.req = p.req();
-    ps.clock_now = p.clock().now();
-    ps.vc = net_.vclock(static_cast<ProcessId>(j));
-    ps.knows_earlier.assign(processes_.size(), 0);
-    for (std::size_t k = 0; k < processes_.size(); ++k) {
-      if (k == j) continue;
-      ps.knows_earlier[k] =
-          p.knows_earlier(static_cast<ProcessId>(k)) ? 1 : 0;
+
+  std::size_t dirty_count = 0;
+  std::size_t dirty_id = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t v = row_version(j);
+    // Dirty relative to the snapshot the monitors saw last (the current
+    // buffer). Row versions never decrease, so equality means untouched.
+    if (!primed_ || v != row_versions_[cur_][j]) {
+      ++dirty_count;
+      dirty_id = j;
+    }
+    // The back buffer is two captures old: rewrite its row whenever the
+    // live version moved past what that buffer recorded (a superset of the
+    // dirty set above).
+    if (!primed_ || v != row_versions_[back][j]) {
+      write_row(snap, j);
+      row_versions_[back][j] = v;
     }
   }
+
+  if (!primed_) {
+    last_dirty_ = spec::kDirtyAll;
+    primed_ = true;
+  } else if (dirty_count == 0) {
+    last_dirty_ = spec::kDirtyNone;
+  } else if (dirty_count == 1) {
+    last_dirty_ = dirty_id;
+  } else {
+    last_dirty_ = spec::kDirtyAll;
+  }
+  cur_ = back;
+  return snap;
+}
+
+GlobalSnapshot SnapshotSource::capture_full(SimTime t) const {
+  GlobalSnapshot snap;
+  snap.resize(processes_.size());
+  snap.time = t;
+  snap.in_flight = net_.in_flight();
+  for (std::size_t j = 0; j < processes_.size(); ++j) write_row(snap, j);
   return snap;
 }
 

@@ -7,56 +7,134 @@
 // count. Snapshots capture the *graybox* view — they contain nothing a
 // wrapper could not also see — so a specification clause checkable on
 // snapshots is by construction checkable without implementation knowledge.
+//
+// Storage is flattened for the per-event hot path: the per-process scalar
+// observables live in one contiguous ProcessSnapshot array, and the two
+// per-pair relations (knows_earlier, vector clocks) live in one N×N matrix
+// each. resize() is the only allocating operation; capturing into a sized
+// snapshot allocates nothing. SnapshotSource keeps a double buffer of these
+// and, using the observation version counters maintained by TmeProcess and
+// Network, re-reads only the rows that actually changed since the previous
+// event — O(N) per event instead of O(N²) allocations.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "clock/timestamp.hpp"
 #include "clock/vector_clock.hpp"
 #include "me/tme_process.hpp"
 #include "net/network.hpp"
+#include "spec/monitor.hpp"
 
 namespace graybox::lspec {
 
+/// Per-process scalar observables; plain data, no heap.
 struct ProcessSnapshot {
   me::TmeState state = me::TmeState::kThinking;
   clk::Timestamp req{};
   /// ts.j: the logical-clock value after the process's most recent event
   /// (CS Release Spec glues REQ to it while thinking).
   clk::Timestamp clock_now{};
-  /// knows_earlier[k] = "REQj lt j.REQk" as this process reads it; own
-  /// index is false.
-  std::vector<char> knows_earlier;
-  /// Monitor-side causal clock (after the process's latest event).
-  clk::VectorClock vc;
 
   bool thinking() const { return state == me::TmeState::kThinking; }
   bool hungry() const { return state == me::TmeState::kHungry; }
   bool eating() const { return state == me::TmeState::kEating; }
 };
 
-struct GlobalSnapshot {
+class GlobalSnapshot {
+ public:
   SimTime time = 0;
+  /// One entry per process; index with the process id.
   std::vector<ProcessSnapshot> procs;
   std::size_t in_flight = 0;
 
+  /// Size the flat storage for n processes; zeroes both matrices.
+  void resize(std::size_t n);
+  std::size_t size() const { return procs.size(); }
+
+  /// knows_earlier[j][k] = "REQj lt j.REQk" as process j reads it; the own
+  /// index (k == j) is always false.
+  bool knows_earlier(std::size_t j, std::size_t k) const {
+    return knows_[j * procs.size() + k] != 0;
+  }
+  void set_knows_earlier(std::size_t j, std::size_t k, bool value) {
+    knows_[j * procs.size() + k] = value ? 1 : 0;
+  }
+
+  /// Monitor-side causal clock of process j (components, after its latest
+  /// event).
+  std::span<const std::uint64_t> vc_row(std::size_t j) const {
+    return {vc_.data() + j * procs.size(), procs.size()};
+  }
+  void set_vc(std::size_t j, const clk::VectorClock& vc);
+
   std::size_t eating_count() const;
   std::size_t hungry_count() const;
+
+ private:
+  friend class SnapshotSource;
+  char* knows_row_mut(std::size_t j) { return knows_.data() + j * procs.size(); }
+  std::uint64_t* vc_row_mut(std::size_t j) {
+    return vc_.data() + j * procs.size();
+  }
+
+  std::vector<char> knows_;          // n*n, row-major by observing process
+  std::vector<std::uint64_t> vc_;    // n*n, row-major by process
 };
 
 /// Captures GlobalSnapshots from live processes and the network.
+///
+/// The delta path — capture() — writes into an internal double buffer:
+/// the returned reference and the previously returned reference stay valid
+/// and distinct across consecutive calls, which is what lets MonitorSet
+/// observe by reference with no copy. Row rewrites are driven by the
+/// observation version counters (TmeProcess::obs_version,
+/// Network::vclock_version): a row is re-read only when its combined
+/// version moved, and last_dirty() summarizes the change against the
+/// previous snapshot for Monitor::step_delta.
 class SnapshotSource {
  public:
   SnapshotSource(std::vector<me::TmeProcess*> processes,
                  const net::Network& net);
 
-  GlobalSnapshot capture(SimTime t) const;
+  /// Delta capture into the double buffer. Returns the new current
+  /// snapshot; the previous one remains readable via previous().
+  const GlobalSnapshot& capture(SimTime t);
+
+  /// Dirty summary of the latest capture() relative to the snapshot before
+  /// it: spec::kDirtyNone, a single process id, or spec::kDirtyAll.
+  std::size_t last_dirty() const { return last_dirty_; }
+
+  const GlobalSnapshot& current() const { return buffers_[cur_]; }
+  const GlobalSnapshot& previous() const { return buffers_[1 - cur_]; }
+
+  /// Reference path: allocate and fill a fresh snapshot, exactly like the
+  /// pre-delta pipeline did every event. Retained for golden-equivalence
+  /// tests (tests/test_snapshot_delta.cpp) and as the spec of capture().
+  GlobalSnapshot capture_full(SimTime t) const;
 
   std::size_t size() const { return processes_.size(); }
 
  private:
+  /// Combined observation version of row j; strictly increases whenever
+  /// any observable of process j (including its monitor-side vclock)
+  /// changes, because both summands are monotone.
+  std::uint64_t row_version(std::size_t j) const {
+    return processes_[j]->obs_version() +
+           net_.vclock_version(static_cast<ProcessId>(j));
+  }
+  void write_row(GlobalSnapshot& snap, std::size_t j) const;
+
   std::vector<me::TmeProcess*> processes_;
   const net::Network& net_;
+  GlobalSnapshot buffers_[2];
+  /// Per-buffer: the row version each buffer's row j was written at.
+  std::vector<std::uint64_t> row_versions_[2];
+  std::size_t cur_ = 0;
+  std::size_t last_dirty_ = spec::kDirtyAll;
+  bool primed_ = false;
 };
 
 }  // namespace graybox::lspec

@@ -104,11 +104,28 @@ void Me3Monitor::step(SimTime t, const GlobalSnapshot& prev,
   }
 }
 
+namespace {
+
+/// happened_before over flat component rows: componentwise <= with at
+/// least one strict < (exactly clk::VectorClock::happened_before).
+bool vc_happened_before(const std::vector<std::uint64_t>& a,
+                        const std::vector<std::uint64_t>& b) {
+  bool some_strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) some_strict = true;
+  }
+  return some_strict;
+}
+
+}  // namespace
+
 void Me3Monitor::on_request(std::size_t j, SimTime t,
                             const GlobalSnapshot& cur) {
   open_[j].open = true;
   open_[j].at = t;
-  open_[j].vc = cur.procs[j].vc;
+  const auto row = cur.vc_row(j);
+  open_[j].vc.assign(row.begin(), row.end());
 }
 
 void Me3Monitor::on_entry(std::size_t j, SimTime t,
@@ -121,7 +138,7 @@ void Me3Monitor::on_entry(std::size_t j, SimTime t,
       if (k == j || !open_[k].open) continue;
       if (!cur.procs[k].hungry()) continue;
       if (open_[k].vc.size() == open_[j].vc.size() &&
-          open_[k].vc.happened_before(open_[j].vc)) {
+          vc_happened_before(open_[k].vc, open_[j].vc)) {
         report(t, "process " + std::to_string(j) + " overtook process " +
                       std::to_string(k) +
                       " whose request happened-before");
@@ -162,7 +179,7 @@ void InvariantIMonitor::check(SimTime t, const GlobalSnapshot& s) {
     // CS Entry Spec's guard, which is conjoined with h.j.
     if (!s.procs[j].hungry()) continue;
     for (std::size_t k = 0; k < s.procs.size(); ++k) {
-      if (k == j || !s.procs[j].knows_earlier[k]) continue;
+      if (k == j || !s.knows_earlier(j, k)) continue;
       if (!clk::lt(s.procs[j].req, s.procs[k].req)) {
         bad = true;
         // Report every bad state (the base class caps retention but keeps

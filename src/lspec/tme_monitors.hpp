@@ -87,7 +87,9 @@ class Me3Monitor : public TmeMonitor {
   struct OpenRequest {
     bool open = false;
     SimTime at = 0;
-    clk::VectorClock vc;
+    /// Flat vector-clock components at request time (copied from the
+    /// snapshot's vc row; the allocation is reused across requests).
+    std::vector<std::uint64_t> vc;
   };
   void on_request(std::size_t j, SimTime t, const GlobalSnapshot& cur);
   void on_entry(std::size_t j, SimTime t, const GlobalSnapshot& cur);

@@ -120,7 +120,7 @@ void LamportMe::handle(const net::Message& msg) {
   }
 }
 
-void LamportMe::corrupt_state(Rng& rng) {
+void LamportMe::do_corrupt(Rng& rng) {
   corrupt_base(rng);
   for (ProcessId k = 0; k < peers(); ++k) {
     if (rng.chance(0.5)) last_heard_[k] = random_timestamp(rng);
@@ -142,13 +142,18 @@ void LamportMe::corrupt_state(Rng& rng) {
 void LamportMe::fault_set_last_heard(ProcessId k, clk::Timestamp ts) {
   GBX_EXPECTS(k < peers());
   last_heard_[k] = ts;
+  mark_observably_changed();
 }
 
 void LamportMe::fault_insert_queue_entry(ProcessId k, clk::Timestamp ts) {
   GBX_EXPECTS(k < peers());
   queue_.push_back(QueueEntry{k, ts});
+  mark_observably_changed();
 }
 
-void LamportMe::fault_clear_queue() { queue_.clear(); }
+void LamportMe::fault_clear_queue() {
+  queue_.clear();
+  mark_observably_changed();
+}
 
 }  // namespace graybox::me

@@ -53,7 +53,6 @@ class LamportMe : public TmeProcess {
 
   bool knows_earlier(ProcessId k) const override;
   clk::Timestamp view_of(ProcessId k) const override;
-  void corrupt_state(Rng& rng) override;
   std::string_view algorithm() const override { return "lamport"; }
 
   /// request_queue.j, ordered earliest-first. (Exposed for diagnostics.)
@@ -73,6 +72,7 @@ class LamportMe : public TmeProcess {
   void do_request() override;
   void do_release(clk::Timestamp new_req) override;
   void handle(const net::Message& msg) override;
+  void do_corrupt(Rng& rng) override;
 
  private:
   /// Modification 1: at most one entry per process; keeps queue_ sorted.

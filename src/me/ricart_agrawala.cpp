@@ -98,7 +98,7 @@ void RicartAgrawala::handle(const net::Message& msg) {
   }
 }
 
-void RicartAgrawala::corrupt_state(Rng& rng) {
+void RicartAgrawala::do_corrupt(Rng& rng) {
   corrupt_base(rng);
   for (ProcessId k = 0; k < peers(); ++k) {
     if (rng.chance(0.5)) view_[k] = random_timestamp(rng);
@@ -109,11 +109,13 @@ void RicartAgrawala::corrupt_state(Rng& rng) {
 void RicartAgrawala::fault_set_view(ProcessId k, clk::Timestamp ts) {
   GBX_EXPECTS(k < peers());
   view_[k] = ts;
+  mark_observably_changed();
 }
 
 void RicartAgrawala::fault_set_received(ProcessId k, bool value) {
   GBX_EXPECTS(k < peers());
   received_[k] = value ? 1 : 0;
+  mark_observably_changed();
 }
 
 }  // namespace graybox::me

@@ -40,7 +40,6 @@ class RicartAgrawala : public TmeProcess {
 
   bool knows_earlier(ProcessId k) const override;
   clk::Timestamp view_of(ProcessId k) const override;
-  void corrupt_state(Rng& rng) override;
   std::string_view algorithm() const override { return "ricart-agrawala"; }
 
   /// "received(j.REQk)" — exposed for tests and diagnostics.
@@ -57,6 +56,7 @@ class RicartAgrawala : public TmeProcess {
   void do_request() override;
   void do_release(clk::Timestamp new_req) override;
   void handle(const net::Message& msg) override;
+  void do_corrupt(Rng& rng) override;
 
   /// FragileMe hooks into request handling; see fragile.hpp.
   virtual void handle_request(const net::Message& msg);

@@ -49,6 +49,9 @@ void TmeProcess::maybe_enter() {
 void TmeProcess::after_event() {
   refresh_thinking_req();
   maybe_enter();
+  // Every program event ends here, so one bump covers request/release/
+  // poll/on_message for the snapshot source's dirty tracking.
+  mark_observably_changed();
 }
 
 void TmeProcess::request_cs() {

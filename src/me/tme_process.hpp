@@ -99,16 +99,37 @@ class TmeProcess {
   /// implementation variable may be overwritten with an arbitrary
   /// type-valid value. Does NOT count as a program transition: no state
   /// change callback fires, and no enabled action runs until the next
-  /// event reaches the process.
-  virtual void corrupt_state(Rng& rng) = 0;
+  /// event reaches the process. Dispatches to do_corrupt() so the
+  /// observation version below is bumped for every implementation.
+  void corrupt_state(Rng& rng) {
+    do_corrupt(rng);
+    mark_observably_changed();
+  }
 
   /// Surgical corruption, for scenario tests that need a *specific*
   /// adversarial state rather than a random one. Part of the fault surface,
   /// not of the protocol: these bypass the program transitions exactly like
   /// corrupt_state does.
-  void fault_set_state(TmeState s) { state_ = s; }
-  void fault_set_req(clk::Timestamp ts) { req_ = ts; }
-  void fault_set_clock(std::uint64_t counter) { lc_.corrupt(counter); }
+  void fault_set_state(TmeState s) {
+    state_ = s;
+    mark_observably_changed();
+  }
+  void fault_set_req(clk::Timestamp ts) {
+    req_ = ts;
+    mark_observably_changed();
+  }
+  void fault_set_clock(std::uint64_t counter) {
+    lc_.corrupt(counter);
+    mark_observably_changed();
+  }
+
+  /// Monotone counter bumped whenever this process's graybox observables
+  /// (state, REQ, clock, knows_earlier inputs) may have changed — after
+  /// every program event and every fault. The snapshot source compares it
+  /// against the version it last captured to re-read only dirty rows.
+  /// Conservative by design: a bump with no actual change only costs a
+  /// redundant row copy, never correctness.
+  std::uint64_t obs_version() const { return obs_version_; }
 
   virtual std::string_view algorithm() const = 0;
 
@@ -131,6 +152,11 @@ class TmeProcess {
   virtual void do_request() = 0;                       // broadcast REQUEST
   virtual void do_release(clk::Timestamp new_req) = 0; // replies/releases
   virtual void handle(const net::Message& msg) = 0;    // message semantics
+  virtual void do_corrupt(Rng& rng) = 0;               // randomize all state
+
+  /// Subclass fault setters call this after mutating their whitebox
+  /// variables outside the program-event paths.
+  void mark_observably_changed() { ++obs_version_; }
 
   /// Send helper used by subclasses (tags messages as program traffic).
   void send(ProcessId to, net::MsgType type, clk::Timestamp ts);
@@ -160,6 +186,7 @@ class TmeProcess {
   clk::Timestamp req_{};
   std::uint64_t cs_entries_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t obs_version_ = 1;
   std::vector<StateChangeFn> state_observers_;
 };
 

@@ -17,6 +17,7 @@ void Channel::enqueue(const Message& msg) {
       std::max(sched_.now() + delay_.sample(rng_), last_arrival_);
   last_arrival_ = arrival;
   queue_.push_back(msg);
+  adjust_in_flight(+1);
   ++enqueued_;
   schedule_tick(arrival);
 }
@@ -29,6 +30,7 @@ void Channel::on_tick() {
   if (queue_.empty()) return;  // message was dropped/cleared by a fault
   Message msg = std::move(queue_.front());
   queue_.pop_front();
+  adjust_in_flight(-1);
   ++delivered_;
   deliver_(msg);
 }
@@ -36,6 +38,7 @@ void Channel::on_tick() {
 void Channel::fault_drop(std::size_t index) {
   GBX_EXPECTS(index < queue_.size());
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  adjust_in_flight(-1);
   ++dropped_by_fault_;
 }
 
@@ -43,6 +46,7 @@ void Channel::fault_duplicate(std::size_t index) {
   GBX_EXPECTS(index < queue_.size());
   const Message copy = queue_[index];
   queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(index) + 1, copy);
+  adjust_in_flight(+1);
   // The duplicate needs its own delivery tick; deliver it no earlier than
   // the queue tail's nominal arrival to keep tick counts consistent.
   schedule_tick(std::max(sched_.now(), last_arrival_));
@@ -66,11 +70,13 @@ void Channel::fault_swap(std::size_t a, std::size_t b) {
 
 void Channel::fault_inject(const Message& msg) {
   queue_.push_back(msg);
+  adjust_in_flight(+1);
   schedule_tick(std::max(sched_.now(), last_arrival_));
 }
 
 void Channel::fault_clear() {
   dropped_by_fault_ += queue_.size();
+  adjust_in_flight(-static_cast<std::ptrdiff_t>(queue_.size()));
   queue_.clear();
 }
 

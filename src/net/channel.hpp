@@ -67,9 +67,22 @@ class Channel {
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped_by_fault() const { return dropped_by_fault_; }
 
+  /// Network-owned aggregate in-flight counter; the channel mirrors every
+  /// queue-size change into it so Network::in_flight() is O(1) instead of
+  /// an O(n^2) walk over all channels. Null for standalone channels.
+  void set_in_flight_counter(std::size_t* counter) {
+    in_flight_counter_ = counter;
+    if (in_flight_counter_ != nullptr) *in_flight_counter_ += queue_.size();
+  }
+
  private:
   void schedule_tick(SimTime arrival);
   void on_tick();
+  void adjust_in_flight(std::ptrdiff_t delta) {
+    if (in_flight_counter_ != nullptr)
+      *in_flight_counter_ = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(*in_flight_counter_) + delta);
+  }
 
   sim::Scheduler& sched_;
   DelayModel delay_;
@@ -82,6 +95,7 @@ class Channel {
   std::uint64_t enqueued_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_by_fault_ = 0;
+  std::size_t* in_flight_counter_ = nullptr;
 };
 
 }  // namespace graybox::net

@@ -39,6 +39,9 @@ Network::Network(sim::Scheduler& sched, std::size_t n, DelayModel delay,
   }
   vclocks_.reserve(n);
   for (ProcessId pid = 0; pid < n; ++pid) vclocks_.emplace_back(pid, n);
+  vclock_versions_.assign(n, 0);
+  for (auto& ch : channels_)
+    if (ch) ch->set_in_flight_counter(&in_flight_);
 }
 
 std::size_t Network::channel_index(ProcessId from, ProcessId to) const {
@@ -62,6 +65,7 @@ void Network::send(ProcessId from, ProcessId to, MsgType type,
   msg.from_wrapper = from_wrapper;
   msg.uid = next_uid_++;
   vclocks_[from].tick();
+  ++vclock_versions_[from];
   msg.vc = vclocks_[from];
 
   ++total_sent_;
@@ -75,6 +79,7 @@ void Network::send(ProcessId from, ProcessId to, MsgType type,
 void Network::local_event(ProcessId pid) {
   GBX_EXPECTS(pid < n_);
   vclocks_[pid].tick();
+  ++vclock_versions_[pid];
 }
 
 const clk::VectorClock& Network::vclock(ProcessId pid) const {
@@ -88,13 +93,6 @@ Channel& Network::channel(ProcessId from, ProcessId to) {
 
 const Channel& Network::channel(ProcessId from, ProcessId to) const {
   return *channels_[channel_index(from, to)];
-}
-
-std::size_t Network::in_flight() const {
-  std::size_t total = 0;
-  for (const auto& ch : channels_)
-    if (ch) total += ch->in_flight();
-  return total;
 }
 
 void Network::add_send_observer(MessageObserver obs) {
@@ -115,6 +113,7 @@ void Network::deliver(const Message& msg) {
   } else {
     vclocks_[msg.to].tick();
   }
+  ++vclock_versions_[msg.to];
   for (const auto& obs : delivery_observers_) obs(msg);
   GBX_ASSERT(handlers_[msg.to] != nullptr);
   handlers_[msg.to](msg);

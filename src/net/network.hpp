@@ -53,12 +53,20 @@ class Network {
   /// after the process's most recent event).
   const clk::VectorClock& vclock(ProcessId pid) const;
 
+  /// Monotone counter bumped whenever vclock(pid) changes (send, delivery,
+  /// local event). The snapshot source's dirty tracking compares it against
+  /// the version it last captured.
+  std::uint64_t vclock_version(ProcessId pid) const {
+    return vclock_versions_[pid];
+  }
+
   /// Directed channel from -> to. Requires from != to.
   Channel& channel(ProcessId from, ProcessId to);
   const Channel& channel(ProcessId from, ProcessId to) const;
 
-  /// Total messages currently in flight across all channels.
-  std::size_t in_flight() const;
+  /// Total messages currently in flight across all channels. O(1): the
+  /// channels mirror every queue-size change into a shared counter.
+  std::size_t in_flight() const { return in_flight_; }
 
   /// Observers fire on every send (after stamping) and every delivery
   /// (before the handler runs).
@@ -82,6 +90,8 @@ class Network {
   std::vector<std::unique_ptr<Channel>> channels_;  // n*n, diagonal unused
   std::vector<Handler> handlers_;
   std::vector<clk::VectorClock> vclocks_;
+  std::vector<std::uint64_t> vclock_versions_;
+  std::size_t in_flight_ = 0;
   std::vector<MessageObserver> send_observers_;
   std::vector<MessageObserver> delivery_observers_;
   std::uint64_t next_uid_ = 1;

@@ -12,6 +12,13 @@
 //
 // Monitors are templated on the snapshot type S so the framework is
 // independent of TME; src/lspec instantiates S = lspec::GlobalSnapshot.
+//
+// Delta observation: the simulator mutates (at most) one process per event,
+// so the observation pipeline can tell monitors WHICH part of the state
+// changed. step_delta(t, prev, cur, dirty) carries that hint; the default
+// implementation ignores it and falls back to step(), so monitors that need
+// the full state pair (global pairwise properties) are unaffected, while
+// per-process-local monitors override it and skip the unchanged rows.
 #pragma once
 
 #include <memory>
@@ -23,6 +30,12 @@
 #include "spec/violation.hpp"
 
 namespace graybox::spec {
+
+/// Dirty hints for step_delta. Anything else is the index of the single
+/// changed process; rows outside the hint are bit-identical between prev
+/// and cur.
+inline constexpr std::size_t kDirtyAll = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kDirtyNone = static_cast<std::size_t>(-2);
 
 template <typename S>
 class Monitor {
@@ -38,6 +51,15 @@ class Monitor {
   virtual void begin(SimTime /*t*/, const S& /*s0*/) {}
   virtual void step(SimTime t, const S& prev, const S& cur) = 0;
   virtual void finish(SimTime /*t*/, const S& /*last*/) {}
+
+  /// Transition with a dirtiness hint (see kDirtyAll/kDirtyNone above).
+  /// Overriding is sound only for properties that are per-row local in the
+  /// rows they *read* as well as the rows they report on; everything else
+  /// keeps this fallback and sees the full pair.
+  virtual void step_delta(SimTime t, const S& prev, const S& cur,
+                          std::size_t /*dirty*/) {
+    step(t, prev, cur);
+  }
 
   /// Retained violation records (capped at kMaxRetained; counters below
   /// keep exact totals when a long-lived breach floods the monitor).
@@ -74,7 +96,9 @@ class Monitor {
 };
 
 /// Owns a set of monitors and drives them with the begin/step/finish
-/// protocol. The harness calls observe() from a scheduler observer.
+/// protocol. The harness calls observe_ref() from a scheduler observer;
+/// observe() is the copying variant for callers that build states on the
+/// stack. Do not mix the two paths on one set.
 template <typename S>
 class MonitorSet {
  public:
@@ -87,25 +111,42 @@ class MonitorSet {
   }
 
   /// Feed the state observed at time t. The first call becomes begin().
+  /// Copies `state` into the set's previous-state slot.
   void observe(SimTime t, const S& state) {
     if (!started_) {
       for (auto& m : monitors_) m->begin(t, state);
       started_ = true;
     } else {
-      for (auto& m : monitors_) m->step(t, previous_, state);
+      for (auto& m : monitors_) m->step_delta(t, previous_, state, kDirtyAll);
     }
     previous_ = state;
+    last_ = &previous_;
+    observed_ += 1;
+  }
+
+  /// Zero-copy observation: `state` must outlive the next observe_ref /
+  /// finish call (the snapshot source's double buffer guarantees exactly
+  /// that). `dirty` is the hint forwarded to step_delta.
+  void observe_ref(SimTime t, const S& state, std::size_t dirty) {
+    if (!started_) {
+      for (auto& m : monitors_) m->begin(t, state);
+      started_ = true;
+    } else {
+      for (auto& m : monitors_) m->step_delta(t, *last_, state, dirty);
+    }
+    last_ = &state;
     observed_ += 1;
   }
 
   /// Close observation; liveness monitors flush outstanding obligations.
   void finish(SimTime t) {
     if (!started_ || finished_) return;
-    for (auto& m : monitors_) m->finish(t, previous_);
+    for (auto& m : monitors_) m->finish(t, *last_);
     finished_ = true;
   }
 
   std::size_t size() const { return monitors_.size(); }
+  bool empty() const { return monitors_.empty(); }
   std::uint64_t observed_states() const { return observed_; }
 
   const std::vector<std::unique_ptr<Monitor<S>>>& monitors() const {
@@ -115,9 +156,23 @@ class MonitorSet {
   /// All retained violations across monitors, unsorted.
   std::vector<Violation> all_violations() const {
     std::vector<Violation> all;
+    std::size_t retained = 0;
+    for (const auto& m : monitors_) retained += m->violations().size();
+    all.reserve(retained);
     for (const auto& m : monitors_)
       all.insert(all.end(), m->violations().begin(), m->violations().end());
     return all;
+  }
+
+  /// Exact per-monitor totals, in installation order — the cheap summary
+  /// for report cells (no retained-vector walk).
+  std::vector<std::pair<std::string, std::uint64_t>>
+  violations_total_by_monitor() const {
+    std::vector<std::pair<std::string, std::uint64_t>> totals;
+    totals.reserve(monitors_.size());
+    for (const auto& m : monitors_)
+      totals.emplace_back(m->name(), m->total_violations());
+    return totals;
   }
 
   /// Exact total violations across monitors.
@@ -148,6 +203,7 @@ class MonitorSet {
  private:
   std::vector<std::unique_ptr<Monitor<S>>> monitors_;
   S previous_{};
+  const S* last_ = nullptr;
   bool started_ = false;
   bool finished_ = false;
   std::uint64_t observed_ = 0;

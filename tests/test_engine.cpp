@@ -227,6 +227,8 @@ TEST(ExperimentEngine, JsonByteIdenticalAcrossJobsModuloVolatileLines) {
   // The stripped form really dropped the volatile fields...
   EXPECT_EQ(a.find("wall_seconds"), std::string::npos);
   EXPECT_EQ(a.find("\"jobs\""), std::string::npos);
+  EXPECT_EQ(a.find("observe_ns_per_event"), std::string::npos);
+  EXPECT_EQ(a.find("events_per_sec"), std::string::npos);
   // ...which ARE present in the full dump.
   EXPECT_NE(grid_to_json("engine_smoke", serial).dump().find("wall_seconds"),
             std::string::npos);
@@ -357,13 +359,16 @@ TEST(Report, BenchNameAndDefaultPath) {
             "BENCH_throughput.json");
 }
 
-TEST(Report, StripVolatileLinesDropsOnlyWallAndJobs) {
+TEST(Report, StripVolatileLinesDropsOnlyVolatileKeys) {
   const std::string pretty =
       "{\n  \"jobs\": 8,\n  \"mean\": 3.5,\n  \"wall_seconds\": 1.2,\n"
+      "  \"observe_ns_per_event\": 41.5,\n  \"events_per_sec\": 1e6,\n"
       "  \"count\": 7\n}\n";
   const std::string stripped = report::strip_volatile_lines(pretty);
   EXPECT_EQ(stripped.find("jobs"), std::string::npos);
   EXPECT_EQ(stripped.find("wall"), std::string::npos);
+  EXPECT_EQ(stripped.find("observe_ns_per_event"), std::string::npos);
+  EXPECT_EQ(stripped.find("events_per_sec"), std::string::npos);
   EXPECT_NE(stripped.find("mean"), std::string::npos);
   EXPECT_NE(stripped.find("count"), std::string::npos);
 }

@@ -18,13 +18,11 @@ using me::TmeState;
 GlobalSnapshot make_snapshot(std::size_t n,
                              std::initializer_list<TmeState> states) {
   GlobalSnapshot s;
-  s.procs.resize(n);
+  s.resize(n);  // zeroes the knows_earlier and vector-clock matrices
   std::size_t j = 0;
   for (const auto st : states) {
     s.procs[j].state = st;
     s.procs[j].req = clk::Timestamp{j + 1, static_cast<ProcessId>(j)};
-    s.procs[j].knows_earlier.assign(n, 0);
-    s.procs[j].vc = clk::VectorClock(static_cast<ProcessId>(j), n);
     ++j;
   }
   return s;
@@ -128,11 +126,11 @@ class Me3Test : public ::testing::Test {
  protected:
   // Build snapshots with controllable vector clocks so happened-before can
   // be forced. Two processes.
-  GlobalSnapshot snap(TmeState s0, TmeState s1, clk::VectorClock vc0,
-                      clk::VectorClock vc1) {
+  GlobalSnapshot snap(TmeState s0, TmeState s1, const clk::VectorClock& vc0,
+                      const clk::VectorClock& vc1) {
     auto s = make_snapshot(2, {s0, s1});
-    s.procs[0].vc = std::move(vc0);
-    s.procs[1].vc = std::move(vc1);
+    s.set_vc(0, vc0);
+    s.set_vc(1, vc1);
     return s;
   }
 };
@@ -210,7 +208,7 @@ TEST(InvariantIMonitor, CleanWhenBeliefsMatchReality) {
   auto s = make_snapshot(2, {TmeState::kHungry, TmeState::kThinking});
   s.procs[0].req = clk::Timestamp{1, 0};
   s.procs[1].req = clk::Timestamp{5, 1};
-  s.procs[0].knows_earlier[1] = 1;  // true: {1,0} lt {5,1}
+  s.set_knows_earlier(0, 1, true);  // true: {1,0} lt {5,1}
   set.observe(0, s);
   EXPECT_TRUE(inv.clean());
 }
@@ -221,7 +219,7 @@ TEST(InvariantIMonitor, FlagsFalseBelief) {
   auto s = make_snapshot(2, {TmeState::kHungry, TmeState::kThinking});
   s.procs[0].req = clk::Timestamp{9, 0};
   s.procs[1].req = clk::Timestamp{5, 1};
-  s.procs[0].knows_earlier[1] = 1;  // false belief: {9,0} not lt {5,1}
+  s.set_knows_earlier(0, 1, true);  // false belief: {9,0} not lt {5,1}
   set.observe(7, s);
   EXPECT_EQ(inv.total_violations(), 1u);
   EXPECT_EQ(inv.last_violation(), 7u);
@@ -233,7 +231,7 @@ TEST(InvariantIMonitor, BeliefOnlyJudgedWhileHungry) {
   auto s = make_snapshot(2, {TmeState::kThinking, TmeState::kThinking});
   s.procs[0].req = clk::Timestamp{9, 0};
   s.procs[1].req = clk::Timestamp{5, 1};
-  s.procs[0].knows_earlier[1] = 1;
+  s.set_knows_earlier(0, 1, true);
   set.observe(0, s);
   EXPECT_TRUE(inv.clean());
 }

@@ -18,6 +18,7 @@
 #include "algebra/generate.hpp"
 #include "core/engine.hpp"
 #include "core/harness.hpp"
+#include "obs/event_bus.hpp"
 #include "lspec/lspec_clause_monitors.hpp"
 #include "lspec/snapshot.hpp"
 #include "lspec/tme_monitors.hpp"
@@ -198,6 +199,62 @@ BENCHMARK(BM_ObserveDeltaSteadyState)
     ->Arg(12)
     ->Arg(16)
     ->Arg(24);
+
+// --- observability layer costs ----------------------------------------------
+//
+// The acceptance bar for the obs subsystem: producers stay permanently
+// attached to the EventBus, so with recording disabled (capacity 0) every
+// would-be event costs exactly one predicted branch — the events_per_sec of
+// the Observe* benches above and of the disabled side here must stay within
+// noise (<2%) of the pre-obs baseline. The enabled side prices the ring
+// write plus the aggregate update.
+
+void BM_EventBusRecord(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  obs::EventBus bus(sched, capacity);
+  obs::Event e;
+  e.kind = obs::EventKind::kSend;
+  e.pid = 0;
+  e.peer = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      e.payload = static_cast<std::uint64_t>(i);
+      bus.record(e);
+      // Producers call record() from separate frames; don't let the
+      // optimizer hoist the enabled check out of the loop.
+      benchmark::ClobberMemory();
+    }
+  }
+  benchmark::DoNotOptimize(bus.total_recorded());
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(capacity == 0 ? "disabled"
+                               : "ring=" + std::to_string(capacity));
+}
+BENCHMARK(BM_EventBusRecord)->Arg(0)->Arg(4096);
+
+void BM_HarnessObservability(benchmark::State& state) {
+  // One simulated kilotick of the busy wrapped 5-process system under the
+  // three observability levels: off (the default every experiment runs
+  // with), typed event trace retained, trace + metrics instrumentation.
+  const auto mode = state.range(0);
+  core::HarnessConfig config;
+  config.n = 5;
+  config.wrapped = true;
+  config.client.think_mean = 30;
+  config.client.eat_mean = 5;
+  config.seed = 12;
+  if (mode >= 1) config.trace_capacity = 1 << 16;
+  if (mode >= 2) config.collect_metrics = true;
+  core::SystemHarness h(config);
+  h.start();
+  for (auto _ : state) {
+    h.run_for(1000);
+  }
+  state.SetLabel(mode == 0 ? "obs off"
+                           : mode == 1 ? "event trace" : "trace+metrics");
+}
+BENCHMARK(BM_HarnessObservability)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_HarnessSimulatedSecond(benchmark::State& state) {
   // One "simulated kilotick" of a busy 5-process wrapped system, with and

@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "core/harness.hpp"
 #include "core/stabilization.hpp"
+#include "obs/perfetto.hpp"
 
 int main(int argc, char** argv) {
   using namespace graybox;
@@ -34,7 +35,11 @@ int main(int argc, char** argv) {
                {"think", "client mean think time (default 40)"},
                {"eat", "client mean eat time (default 8)"},
                {"seed", "experiment seed (default 1)"},
-               {"trace", "print the tail of the event trace"}});
+               {"trace", "print the tail of the event trace"},
+               {"perfetto",
+                "write a Chrome/Perfetto trace_event JSON to this path "
+                "(implies --trace)"},
+               {"metrics", "write the run's metrics JSON to this path"}});
 
   HarnessConfig config;
   config.n = static_cast<std::size_t>(flags.get_int("n", 5));
@@ -59,6 +64,12 @@ int main(int argc, char** argv) {
   config.client.eat_mean = flags.get_double("eat", 8);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   if (flags.get_bool("trace", false)) config.trace_capacity = 2048;
+  const std::string perfetto_path = flags.get("perfetto", "");
+  const std::string metrics_path = flags.get("metrics", "");
+  // A Perfetto export wants the whole run retained, not just a debug tail.
+  if (!perfetto_path.empty() && config.trace_capacity < 1 << 20)
+    config.trace_capacity = 1 << 20;
+  if (!metrics_path.empty()) config.collect_metrics = true;
 
   const std::string kind_name = flags.get("fault-kind", "all");
   net::FaultMix mix = net::FaultMix::all();
@@ -133,9 +144,21 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   procs.print(std::cout);
 
+  std::cout << "\n" << system.timeline().to_string();
+
   if (config.trace_capacity > 0) {
     std::cout << "\nevent trace tail:\n";
     system.trace().dump(std::cout, 32);
+  }
+  if (!perfetto_path.empty()) {
+    obs::write_perfetto_file(perfetto_path, system.events());
+    std::cout << "\nwrote Perfetto trace (open in ui.perfetto.dev): "
+              << perfetto_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    report::write_json_file(
+        metrics_path, obs::metrics_snapshot_to_json(stats.metrics));
+    std::cout << "wrote metrics JSON: " << metrics_path << "\n";
   }
   return report.stabilized ? 0 : 1;
 }

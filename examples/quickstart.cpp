@@ -66,6 +66,10 @@ int main(int argc, char** argv) {
     if (total > 0) std::cout << " " << name << "=" << total;
   }
   std::cout << "\n";
+
+  // The convergence story: fault burst -> violation decay -> quiescence.
+  std::cout << "\n" << system.timeline().to_string();
+
   std::cout << "\nThe run " << (report.stabilized ? "STABILIZED" : "FAILED")
             << ": every TME Spec violation is confined to the window right "
                "after the burst, exactly as Theorem 8 promises.\n";

@@ -62,7 +62,9 @@ std::string config_digest(const HarnessConfig& config) {
   h.mix(config.install_monitors);
   h.mix(config.install_lspec_monitors);
   // Deliberately excluded: seed (recorded separately as the cell's seed
-  // range) and trace_capacity (observability only).
+  // range), trace_capacity, and collect_metrics (observability only — the
+  // engine forces collect_metrics on per trial, and neither changes the
+  // run's RNG-visible behavior).
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(h.value()));
@@ -141,6 +143,9 @@ GridResult ExperimentEngine::run(const SpecGrid& grid) const {
     const RunSpec& spec = grid.cells()[task.cell];
     HarnessConfig config = spec.config;
     config.seed = spec.config.seed + task.trial;
+    // Metrics are passive (no RNG draws, no scheduling), so forcing them on
+    // is determinism-safe and gives every BENCH artifact a metrics section.
+    config.collect_metrics = true;
     const auto start = std::chrono::steady_clock::now();
     Slot& slot = slots[task.cell][task.trial];
     slot.result = spec.trial ? spec.trial(config, spec.scenario)
@@ -221,6 +226,9 @@ report::Json cell_to_json(const CellResult& cell) {
   j["cs_entries"] = accumulator_to_json(cell.result.cs_entries);
   j["max_wait"] = accumulator_to_json(cell.result.max_wait);
   j["events"] = accumulator_to_json(cell.result.events);
+  if (!cell.result.metrics.empty()) {
+    j["metrics"] = cell.result.metrics.to_json();
+  }
   // Perf-trajectory fields, wall-clock derived and therefore volatile
   // (stripped alongside wall_seconds by strip_volatile_lines).
   const double events_sum = cell.result.events.sum();

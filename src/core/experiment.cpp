@@ -48,6 +48,7 @@ void RepeatedResult::add(const ExperimentResult& result) {
   max_wait.add(static_cast<double>(result.stats.me2_max_wait));
   events.add(static_cast<double>(result.stats.events_executed));
   observe_ns_total += static_cast<double>(result.stats.observe_ns);
+  if (!result.stats.metrics.empty()) metrics.add(result.stats.metrics);
 }
 
 void RepeatedResult::merge(const RepeatedResult& other) {
@@ -64,6 +65,7 @@ void RepeatedResult::merge(const RepeatedResult& other) {
   max_wait.merge(other.max_wait);
   events.merge(other.events);
   observe_ns_total += other.observe_ns_total;
+  metrics.merge(other.metrics);
 }
 
 RepeatedResult repeat_fault_experiment(HarnessConfig config,

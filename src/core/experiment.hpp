@@ -72,6 +72,9 @@ struct RepeatedResult {
   /// Summed observation-hot-path nanoseconds across trials (volatile:
   /// wall-clock derived, stripped from determinism comparisons).
   double observe_ns_total = 0.0;
+  /// Fold of each trial's RunStats::metrics (empty when trials ran without
+  /// collect_metrics). Deterministic: every metric is sim-domain valued.
+  obs::MetricsAggregate metrics;
 
   /// Fold one trial's outcome.
   void add(const ExperimentResult& result);

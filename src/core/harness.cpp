@@ -28,8 +28,15 @@ SystemHarness::SystemHarness(HarnessConfig config)
   GBX_EXPECTS(config_.per_process_algorithms.empty() ||
               config_.per_process_algorithms.size() == config_.n);
 
+  // The typed event bus exists unconditionally (capacity 0 = disabled) and
+  // every producer stays attached, so toggling trace_capacity changes only
+  // how much is retained, never the wiring.
+  bus_ = std::make_unique<obs::EventBus>(sched_, config_.trace_capacity);
+  bus_->set_fault_kind_names(net::fault_kind_names());
+
   net_ = std::make_unique<net::Network>(sched_, config_.n, config_.delay,
                                         master_rng_.split());
+  net_->set_event_bus(bus_.get());
 
   // Processes + delivery plumbing.
   std::vector<me::TmeProcess*> raw;
@@ -37,6 +44,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
     processes_.push_back(make_process(pid));
     raw.push_back(processes_.back().get());
     me::TmeProcess* proc = raw.back();
+    proc->set_event_bus(bus_.get());
     net_->set_handler(pid, [proc](const net::Message& msg) {
       proc->on_message(msg);
     });
@@ -53,6 +61,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
     for (ProcessId pid = 0; pid < config_.n; ++pid) {
       wrappers_.push_back(std::make_unique<wrapper::GrayboxWrapper>(
           sched_, *net_, *processes_[pid], config_.wrapper));
+      wrappers_.back()->set_event_bus(bus_.get());
     }
   }
 
@@ -62,6 +71,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
       [this](ProcessId pid, Rng& rng) {
         processes_[pid]->corrupt_state(rng);
       });
+  faults_->set_event_bus(bus_.get());
 
   // Monitoring battery.
   structural_ = std::make_unique<lspec::StructuralSpecMonitor>(raw, sched_);
@@ -94,23 +104,58 @@ SystemHarness::SystemHarness(HarnessConfig config)
     });
   }
 
-  // Optional rolling event trace for debugging and the example binaries.
-  if (config_.trace_capacity > 0) {
-    trace_ = sim::Trace(config_.trace_capacity);
-    net_->add_send_observer([this](const net::Message& msg) {
-      trace_.record(sched_.now(), "send " + msg.to_string());
+  // Monitor violations feed the bus out-of-band (the monitors themselves
+  // stay obs-free: the hook is a type-erased callback in the spec layer).
+  bus_->set_monitor_names(monitor_set_.monitor_names());
+  if (bus_->enabled()) {
+    monitor_set_.set_violation_hook([this](SimTime, std::size_t index) {
+      obs::Event e;
+      e.kind = obs::EventKind::kMonitorViolation;
+      e.monitor = static_cast<std::uint16_t>(index);
+      bus_->record(e);
     });
-    net_->add_delivery_observer([this](const net::Message& msg) {
-      trace_.record(sched_.now(), "recv " + msg.to_string());
-    });
+  }
+
+  // The human-readable trace is a lazy view over the bus ring (see
+  // trace()); it only needs matching retention.
+  trace_ = sim::Trace(config_.trace_capacity);
+
+  // Metrics instrumentation: push histograms fed by passive observers, and
+  // pull counters registered up front (fixed order) but refreshed from the
+  // component counters inside stats(). Everything is sim-domain valued, so
+  // the snapshot is a pure function of the seed.
+  if (config_.collect_metrics) {
+    hungry_since_.assign(config_.n, kNever);
+    obs::Histogram& cs_wait =
+        metrics_.histogram("cs_wait_ticks", obs::Histogram::pow2_bounds(20));
+    obs::Histogram& queue_depth = metrics_.histogram(
+        "channel_queue_depth", obs::Histogram::pow2_bounds(10));
+    obs::Histogram& in_flight =
+        metrics_.histogram("net_in_flight", obs::Histogram::pow2_bounds(12));
+    metrics_.counter("wrapper_resends");
+    for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
+      metrics_.counter(std::string("faults.") +
+                       net::to_string(static_cast<net::FaultKind>(k)));
+    }
+    for (const std::string& name : monitor_set_.monitor_names()) {
+      metrics_.counter("violations." + name);
+    }
+
+    net_->add_send_observer(
+        [this, &queue_depth, &in_flight](const net::Message& msg) {
+          in_flight.observe(net_->in_flight());
+          queue_depth.observe(net_->channel(msg.from, msg.to).in_flight());
+        });
     for (ProcessId pid = 0; pid < config_.n; ++pid) {
-      me::TmeProcess* proc = processes_[pid].get();
-      proc->add_state_observer(
-          [this, pid](me::TmeState from, me::TmeState to) {
-            trace_.record(sched_.now(),
-                          "proc " + std::to_string(pid) + ": " +
-                              std::string(me::to_string(from)) + " -> " +
-                              me::to_string(to));
+      processes_[pid]->add_state_observer(
+          [this, &cs_wait, pid](me::TmeState, me::TmeState to) {
+            if (to == me::TmeState::kHungry) {
+              hungry_since_[pid] = sched_.now();
+            } else if (to == me::TmeState::kEating &&
+                       hungry_since_[pid] != kNever) {
+              cs_wait.observe(sched_.now() - hungry_since_[pid]);
+              hungry_since_[pid] = kNever;
+            }
           });
     }
   }
@@ -152,6 +197,18 @@ wrapper::GrayboxWrapper* SystemHarness::wrapper(ProcessId pid) {
   if (!config_.wrapped) return nullptr;
   GBX_EXPECTS(pid < wrappers_.size());
   return wrappers_[pid].get();
+}
+
+const sim::Trace& SystemHarness::trace() const {
+  if (bus_->enabled() && bus_->total_recorded() != trace_rendered_total_) {
+    trace_.clear();
+    for (std::size_t i = 0; i < bus_->size(); ++i) {
+      const obs::Event& e = bus_->event(i);
+      trace_.record(e.time, bus_->render(e));
+    }
+    trace_rendered_total_ = bus_->total_recorded();
+  }
+  return trace_;
 }
 
 void SystemHarness::start() {
@@ -210,6 +267,53 @@ StabilizationReport SystemHarness::stabilization_report() const {
   return report;
 }
 
+obs::StabilizationTimeline SystemHarness::timeline() const {
+  GBX_EXPECTS(config_.install_monitors);
+  obs::StabilizationTimeline tl;
+  tl.run_end = sched_.now();
+
+  tl.faults_injected = faults_->total_injected();
+  tl.first_fault = faults_->first_fault_time();
+  tl.last_fault = faults_->last_fault_time();
+  for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
+    const obs::KindStats& s =
+        faults_->kind_stats(static_cast<net::FaultKind>(k));
+    if (s.count == 0) continue;
+    obs::TimelineEntry e;
+    e.name = net::to_string(static_cast<net::FaultKind>(k));
+    e.count = s.count;
+    e.first = s.first;
+    e.last = s.last;
+    tl.faults.push_back(std::move(e));
+  }
+
+  for (const auto& m : monitor_set_.monitors()) {
+    obs::TimelineEntry e;
+    e.name = m->name();
+    e.count = m->total_violations();
+    e.first = m->first_violation();
+    e.last = m->last_violation();
+    if (e.count > 0) {
+      tl.violations_total += e.count;
+      if (tl.first_violation == kNever || e.first < tl.first_violation)
+        tl.first_violation = e.first;
+      if (tl.last_violation == kNever || e.last > tl.last_violation)
+        tl.last_violation = e.last;
+    }
+    tl.clauses.push_back(std::move(e));
+  }
+
+  SimTime last = kNever;
+  for (SimTime t : {net_->last_send_time(), net_->last_delivery_time(),
+                    tl.last_fault, tl.last_violation}) {
+    if (t == kNever) continue;
+    if (last == kNever || t > last) last = t;
+  }
+  tl.last_activity = last;
+  tl.quiescent = quiescent();
+  return tl;
+}
+
 RunStats SystemHarness::stats() const {
   RunStats stats;
   stats.duration = sched_.now();
@@ -233,6 +337,24 @@ RunStats SystemHarness::stats() const {
   }
   stats.lspec_clause_violations = lspec_handles_.total_violations();
   stats.observe_ns = observe_ns_;
+
+  if (config_.collect_metrics) {
+    // Refresh the pull counters (registered in the constructor, so the
+    // snapshot order never depends on when stats() is called).
+    std::uint64_t resends = 0;
+    for (const auto& w : wrappers_) resends += w->resends();
+    metrics_.counter("wrapper_resends").set(resends);
+    for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
+      const auto kind = static_cast<net::FaultKind>(k);
+      metrics_.counter(std::string("faults.") + net::to_string(kind))
+          .set(faults_->count(kind));
+    }
+    for (const auto& [name, total] :
+         monitor_set_.violations_total_by_monitor()) {
+      metrics_.counter("violations." + name).set(total);
+    }
+    stats.metrics = metrics_.snapshot();
+  }
   return stats;
 }
 

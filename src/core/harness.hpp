@@ -33,6 +33,9 @@
 #include "me/ricart_agrawala.hpp"
 #include "net/fault_injector.hpp"
 #include "net/network.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/scheduler.hpp"
 #include "wrapper/graybox_wrapper.hpp"
 
@@ -80,9 +83,20 @@ struct HarnessConfig {
   /// reason. Only golden-equivalence tests should set this.
   bool reference_full_capture = false;
 
-  /// Keep a rolling human-readable event trace of this many records
-  /// (sends, deliveries, state transitions, faults). 0 disables tracing.
+  /// Retain this many typed events in the observability bus (sends,
+  /// deliveries, state transitions, faults, wrapper corrections, monitor
+  /// violations). 0 disables event recording; the bus object always exists
+  /// and every producer stays attached, so the disabled cost is one
+  /// predicted branch per would-be event. The human-readable trace() view
+  /// renders from the same ring.
   std::size_t trace_capacity = 0;
+
+  /// Install the metrics instrumentation (CS wait histogram, queue-depth
+  /// and in-flight samples, plus the pull counters mirrored in
+  /// RunStats::metrics). Purely passive — no RNG draws, no scheduling — so
+  /// it never perturbs the run; excluded from config_digest for exactly
+  /// that reason (the experiment engine forces it on per trial).
+  bool collect_metrics = false;
 };
 
 struct RunStats {
@@ -106,6 +120,9 @@ struct RunStats {
   /// + monitor stepping), summed over all events. Volatile: excluded from
   /// determinism comparisons.
   std::uint64_t observe_ns = 0;
+  /// Metric samples collected when config.collect_metrics was set; empty
+  /// otherwise. All values are sim-domain, hence deterministic.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Verdict on a completed (drained) run; see stabilization.hpp.
@@ -139,8 +156,18 @@ class SystemHarness {
   lspec::SendMonotonicityMonitor& send_monitor() { return *send_mono_; }
   lspec::FifoMonitor& fifo_monitor() { return *fifo_; }
 
-  /// Rolling event trace; empty unless config.trace_capacity > 0.
-  const sim::Trace& trace() const { return trace_; }
+  /// The typed event bus. Always present; disabled (capacity 0) unless
+  /// config.trace_capacity > 0.
+  obs::EventBus& events() { return *bus_; }
+  const obs::EventBus& events() const { return *bus_; }
+
+  /// Live metric instruments; empty unless config.collect_metrics.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Rolling human-readable trace; empty unless config.trace_capacity > 0.
+  /// A lazily rendered text view over events(): rebuilt from the retained
+  /// ring on access, preserving the legacy "[time] text" dump format.
+  const sim::Trace& trace() const;
 
   /// Arm clients and wrappers.
   void start();
@@ -156,6 +183,14 @@ class SystemHarness {
 
   StabilizationReport stabilization_report() const;
   RunStats stats() const;
+
+  /// The run's convergence story: fault burst -> first violation ->
+  /// per-clause decay -> last violation -> quiescence. Derived from the
+  /// fault injector, monitor set, and network activity bookkeeping, so it
+  /// works even with the event bus disabled; with the bus enabled,
+  /// obs::timeline_from_bus(events()) agrees on every shared field.
+  /// Requires config.install_monitors (like stabilization_report()).
+  obs::StabilizationTimeline timeline() const;
 
   /// True when every process is thinking and no message is in flight.
   bool quiescent() const;
@@ -175,7 +210,13 @@ class SystemHarness {
   lspec::TmeMonitorSet monitor_set_;
   lspec::TmeMonitors tme_handles_;
   lspec::LspecClauseMonitors lspec_handles_;
-  sim::Trace trace_{0};
+  std::unique_ptr<obs::EventBus> bus_;
+  // Pull counters are refreshed from component state inside const stats().
+  mutable obs::MetricsRegistry metrics_;
+  std::vector<SimTime> hungry_since_;  ///< per-pid CS wait start (metrics)
+  // trace() is a lazily rendered view over bus_; mutable for const access.
+  mutable sim::Trace trace_{0};
+  mutable std::uint64_t trace_rendered_total_ = 0;
   std::uint64_t observe_ns_ = 0;
   std::unique_ptr<lspec::StructuralSpecMonitor> structural_;
   std::unique_ptr<lspec::SendMonotonicityMonitor> send_mono_;

@@ -26,6 +26,16 @@ TmeProcess::TmeProcess(ProcessId pid, net::Network& net)
 void TmeProcess::transition(TmeState to) {
   const TmeState from = state_;
   state_ = to;
+  if (bus_ != nullptr) {
+    obs::Event e;
+    e.kind = to == TmeState::kEating     ? obs::EventKind::kCsEnter
+             : from == TmeState::kEating ? obs::EventKind::kCsExit
+                                         : obs::EventKind::kLocalStep;
+    e.pid = pid_;
+    e.a = static_cast<std::uint8_t>(from);
+    e.b = static_cast<std::uint8_t>(to);
+    bus_->record(e);
+  }
   for (const auto& obs : state_observers_) obs(from, to);
 }
 

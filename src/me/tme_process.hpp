@@ -35,6 +35,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "obs/event_bus.hpp"
 
 namespace graybox::me {
 
@@ -147,6 +148,10 @@ class TmeProcess {
     state_observers_.push_back(std::move(fn));
   }
 
+  /// Attach the observability bus; program transitions are recorded as
+  /// kCsEnter (h->e), kCsExit (e->t), or kLocalStep events.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+
  protected:
   // Template-method hooks implemented by the concrete programs.
   virtual void do_request() = 0;                       // broadcast REQUEST
@@ -188,6 +193,7 @@ class TmeProcess {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t obs_version_ = 1;
   std::vector<StateChangeFn> state_observers_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace graybox::me

@@ -24,6 +24,15 @@ const char* to_string(FaultKind kind) {
   return "unknown-fault";
 }
 
+std::vector<std::string> fault_kind_names() {
+  std::vector<std::string> names;
+  names.reserve(kFaultKindCount);
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    names.emplace_back(to_string(static_cast<FaultKind>(i)));
+  }
+  return names;
+}
+
 FaultMix FaultMix::all() {
   FaultMix mix;
   mix.channel_clear = true;
@@ -157,17 +166,36 @@ Message FaultInjector::random_message(ProcessId from, ProcessId to) {
   return msg;
 }
 
-void FaultInjector::note(FaultKind kind) {
-  ++counts_[static_cast<std::size_t>(kind)];
+void FaultInjector::note(FaultKind kind, ProcessId pid,
+                         std::uint64_t dropped) {
+  kind_stats_[static_cast<std::size_t>(kind)].note(sched_.now());
+  if (first_fault_time_ == kNever) first_fault_time_ = sched_.now();
   last_fault_time_ = sched_.now();
+  if (bus_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::kFaultInjected;
+    e.a = static_cast<std::uint8_t>(kind);
+    e.pid = pid;
+    e.payload = dropped;
+    bus_->record(e);
+    if (dropped > 0) {
+      obs::Event d;
+      d.kind = obs::EventKind::kDrop;
+      d.payload = dropped;
+      bus_->record(d);
+    }
+  }
 }
 
 bool FaultInjector::inject(FaultKind kind) {
+  ProcessId fault_pid = kNoProcess;
+  std::uint64_t dropped = 0;
   switch (kind) {
     case FaultKind::kMessageDrop: {
       Target t = pick_in_flight();
       if (t.channel == nullptr) return false;
       t.channel->fault_drop(t.index);
+      dropped = 1;
       break;
     }
     case FaultKind::kMessageDuplicate: {
@@ -214,6 +242,7 @@ bool FaultInjector::inject(FaultKind kind) {
       if (corrupt_process_ == nullptr) return false;
       const auto pid = static_cast<ProcessId>(rng_.index(net_.size()));
       corrupt_process_(pid, rng_);
+      fault_pid = pid;
       break;
     }
     case FaultKind::kChannelClear: {
@@ -229,11 +258,13 @@ bool FaultInjector::inject(FaultKind kind) {
         }
       }
       if (eligible.empty()) return false;
-      eligible[rng_.index(eligible.size())]->fault_clear();
+      Channel& ch = *eligible[rng_.index(eligible.size())];
+      dropped = ch.in_flight();
+      ch.fault_clear();
       break;
     }
   }
-  note(kind);
+  note(kind, fault_pid, dropped);
   return true;
 }
 
@@ -270,7 +301,7 @@ void FaultInjector::schedule_continuous(SimTime start, SimTime end,
 
 std::uint64_t FaultInjector::total_injected() const {
   std::uint64_t total = 0;
-  for (const auto c : counts_) total += c;
+  for (const auto& s : kind_stats_) total += s.count;
   return total;
 }
 

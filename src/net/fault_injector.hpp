@@ -18,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "obs/event_bus.hpp"
 #include "sim/scheduler.hpp"
 
 namespace graybox::net {
@@ -34,6 +35,10 @@ enum class FaultKind : std::uint8_t {
 inline constexpr std::size_t kFaultKindCount = 7;
 
 const char* to_string(FaultKind kind);
+
+/// All fault kind names in FaultKind code order — the name table the
+/// observability bus indexes kFaultInjected events with.
+std::vector<std::string> fault_kind_names();
 
 /// Which fault kinds an adversary may use.
 struct FaultMix {
@@ -88,11 +93,22 @@ class FaultInjector {
 
   /// Time of the most recent successfully injected fault; kNever if none.
   SimTime last_fault_time() const { return last_fault_time_; }
+  /// Time of the first successfully injected fault; kNever if none. Start
+  /// of the fault burst in the stabilization timeline.
+  SimTime first_fault_time() const { return first_fault_time_; }
 
   std::uint64_t count(FaultKind kind) const {
-    return counts_[static_cast<std::size_t>(kind)];
+    return kind_stats_[static_cast<std::size_t>(kind)].count;
+  }
+  /// Exact count / first / last aggregate per fault kind.
+  const obs::KindStats& kind_stats(FaultKind kind) const {
+    return kind_stats_[static_cast<std::size_t>(kind)];
   }
   std::uint64_t total_injected() const;
+
+  /// Attach the observability bus; every injected fault is recorded as a
+  /// kFaultInjected event (plus kDrop for destroyed messages).
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
  private:
   struct Target {
@@ -105,14 +121,20 @@ class FaultInjector {
   /// Pick a random ordered process pair (requires n >= 2).
   std::pair<ProcessId, ProcessId> pick_pair();
   clk::Timestamp random_timestamp();
-  void note(FaultKind kind);
+  /// Account one applied fault: bump the per-kind aggregate, stamp
+  /// first/last fault times, and emit bus events. `pid` names the corrupted
+  /// process (process faults only); `dropped` counts messages destroyed.
+  void note(FaultKind kind, ProcessId pid = kNoProcess,
+            std::uint64_t dropped = 0);
 
   sim::Scheduler& sched_;
   Network& net_;
   Rng rng_;
   CorruptProcessFn corrupt_process_;
-  std::array<std::uint64_t, kFaultKindCount> counts_{};
+  std::array<obs::KindStats, kFaultKindCount> kind_stats_{};
+  SimTime first_fault_time_ = kNever;
   SimTime last_fault_time_ = kNever;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace graybox::net

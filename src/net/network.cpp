@@ -4,6 +4,22 @@
 
 namespace graybox::net {
 
+namespace {
+
+obs::Event message_event(obs::EventKind kind, const Message& msg) {
+  obs::Event e;
+  e.kind = kind;
+  e.pid = msg.from;
+  e.peer = msg.to;
+  e.a = static_cast<std::uint8_t>(msg.type);
+  e.payload = msg.ts.counter;
+  e.aux = msg.ts.pid;
+  if (msg.from_wrapper) e.flags |= obs::Event::kFromWrapper;
+  return e;
+}
+
+}  // namespace
+
 const char* to_string(MsgType t) {
   switch (t) {
     case MsgType::kRequest:
@@ -71,6 +87,8 @@ void Network::send(ProcessId from, ProcessId to, MsgType type,
   ++total_sent_;
   ++sent_by_type_[static_cast<std::size_t>(type)];
   if (from_wrapper) ++sent_by_wrapper_;
+  last_send_time_ = sched_.now();
+  if (bus_) bus_->record(message_event(obs::EventKind::kSend, msg));
   for (const auto& obs : send_observers_) obs(msg);
 
   channel(from, to).enqueue(msg);
@@ -114,6 +132,8 @@ void Network::deliver(const Message& msg) {
     vclocks_[msg.to].tick();
   }
   ++vclock_versions_[msg.to];
+  last_delivery_time_ = sched_.now();
+  if (bus_) bus_->record(message_event(obs::EventKind::kDeliver, msg));
   for (const auto& obs : delivery_observers_) obs(msg);
   GBX_ASSERT(handlers_[msg.to] != nullptr);
   handlers_[msg.to](msg);

@@ -20,6 +20,7 @@
 #include "clock/vector_clock.hpp"
 #include "common/rng.hpp"
 #include "net/channel.hpp"
+#include "obs/event_bus.hpp"
 
 namespace graybox::net {
 
@@ -73,6 +74,15 @@ class Network {
   void add_send_observer(MessageObserver obs);
   void add_delivery_observer(MessageObserver obs);
 
+  /// Attach the observability bus; every send and delivery is recorded as
+  /// a typed event. nullptr (the default) detaches.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+
+  /// Sim-time of the most recent send / delivery (kNever before the
+  /// first). Feeds quiescence detection in the stabilization timeline.
+  SimTime last_send_time() const { return last_send_time_; }
+  SimTime last_delivery_time() const { return last_delivery_time_; }
+
   // --- Accounting -------------------------------------------------------
   std::uint64_t total_sent() const { return total_sent_; }
   std::uint64_t total_delivered() const { return total_delivered_; }
@@ -94,6 +104,9 @@ class Network {
   std::size_t in_flight_ = 0;
   std::vector<MessageObserver> send_observers_;
   std::vector<MessageObserver> delivery_observers_;
+  obs::EventBus* bus_ = nullptr;
+  SimTime last_send_time_ = kNever;
+  SimTime last_delivery_time_ = kNever;
   std::uint64_t next_uid_ = 1;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;

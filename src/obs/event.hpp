@@ -1,0 +1,80 @@
+// Typed observability events: the vocabulary of "what happened" in a run.
+//
+// The paper's whole argument is about observable convergence (Section 2):
+// a run stabilizes iff violations are confined to a prefix, and the
+// interesting quantity is the divergent window between the last fault and
+// the last violation. These events are the raw material for answering
+// *how* a run converged — which clause fired, when wrapper actions
+// corrected state, how traffic and violations decayed after a burst.
+//
+// An Event is a compact POD: sim-time, a kind, the acting process, an
+// optional peer, and a handful of payload integers whose meaning depends on
+// the kind. No strings are stored; human-readable text is rendered lazily
+// at dump time (EventBus::render), so recording is a ring write.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace graybox::obs {
+
+enum class EventKind : std::uint8_t {
+  kSend = 0,           ///< Network::send (pid -> peer, payload = ts.counter)
+  kDeliver,            ///< message left a channel (pid = receiver)
+  kDrop,               ///< message(s) destroyed by a fault (payload = count)
+  kLocalStep,          ///< program transition other than CS enter/exit
+  kCsEnter,            ///< h -> e (pid entered the critical section)
+  kCsExit,             ///< e -> t (pid left the critical section)
+  kFaultInjected,      ///< FaultInjector applied a fault (a = FaultKind)
+  kWrapperCorrection,  ///< W'j resent REQj to a stale peer (pid -> peer)
+  kMonitorViolation,   ///< a spec monitor reported (monitor = index)
+};
+inline constexpr std::size_t kEventKindCount = 9;
+
+const char* to_string(EventKind kind);
+
+/// One recorded event. Field meaning by kind:
+///
+///   kSend / kDeliver        pid = sender, peer = receiver, a = MsgType,
+///                           payload = timestamp counter, aux = timestamp
+///                           pid, flags bit 0 = sent by a wrapper
+///   kDrop                   payload = number of messages destroyed
+///   kLocalStep/kCsEnter/
+///   kCsExit                 pid = process, a = from-state, b = to-state
+///                           (me::TmeState codes)
+///   kFaultInjected          a = net::FaultKind code, pid = corrupted
+///                           process (process faults only)
+///   kWrapperCorrection      pid = wrapped process, peer = stale peer
+///   kMonitorViolation       monitor = index in the owning MonitorSet
+struct Event {
+  SimTime time = 0;
+  std::uint64_t payload = 0;
+  ProcessId pid = kNoProcess;
+  ProcessId peer = kNoProcess;
+  std::uint32_t aux = 0;
+  std::uint16_t monitor = 0;
+  EventKind kind = EventKind::kSend;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t flags = 0;
+
+  static constexpr std::uint8_t kFromWrapper = 1u << 0;
+};
+
+/// Count / first-time / last-time aggregate of one event class. Maintained
+/// by the EventBus for every kind (and per monitor, per fault kind) even
+/// though the ring itself evicts: timelines need exact firsts and lasts.
+struct KindStats {
+  std::uint64_t count = 0;
+  SimTime first = kNever;
+  SimTime last = kNever;
+
+  void note(SimTime t) {
+    if (count == 0 || t < first) first = t;
+    if (count == 0 || t > last) last = t;
+    ++count;
+  }
+};
+
+}  // namespace graybox::obs

@@ -1,0 +1,100 @@
+// EventBus: the typed event hub of the observability layer.
+//
+// One bus per harness (or per hand-wired system). Producers — the network,
+// the processes, the wrappers, the fault injector, the monitor set — hold a
+// nullable pointer to it and record compact Events; the bus stamps the
+// simulation time, appends to a preallocated ring, and maintains exact
+// count/first/last aggregates per event kind, per monitor, and per fault
+// kind (the aggregates survive ring eviction, which is what timelines are
+// derived from).
+//
+// Cost model: record() on a disabled bus (capacity 0) is a single predicted
+// branch; enabled it is a couple of array writes, no allocation ever after
+// construction. bench_substrate_micro measures both sides.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox::obs {
+
+class EventBus {
+ public:
+  /// A bus retaining the most recent `capacity` events. 0 disables the bus
+  /// entirely (recording, aggregates, and rendering all become no-ops).
+  EventBus(const sim::Scheduler& sched, std::size_t capacity);
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+  /// Current simulation time (what the next record() would be stamped with).
+  SimTime now() const { return sched_.now(); }
+
+  /// Record one event. `e.time` is overwritten with the scheduler's current
+  /// time; every other field is the caller's. No-op when disabled.
+  void record(Event e) {
+    if (capacity_ == 0) return;
+    record_slow(e);
+  }
+
+  // --- Retained ring (oldest first) -------------------------------------
+
+  std::size_t size() const { return size_; }
+  /// i-th retained event, 0 = oldest.
+  const Event& event(std::size_t i) const;
+  /// Total events ever recorded, retained or evicted.
+  std::uint64_t total_recorded() const { return total_; }
+  /// Drop retained events and reset all aggregates.
+  void clear();
+
+  // --- Exact aggregates (survive eviction) ------------------------------
+
+  const KindStats& kind_stats(EventKind kind) const {
+    return kind_stats_[static_cast<std::size_t>(kind)];
+  }
+  /// Per-monitor violation aggregates, indexed like monitor_names().
+  const std::vector<KindStats>& monitor_stats() const {
+    return monitor_stats_;
+  }
+  /// Per-fault-kind injection aggregates, indexed like fault_kind_names().
+  const std::vector<KindStats>& fault_stats() const { return fault_stats_; }
+
+  // --- Name tables (for rendering and timeline labels) ------------------
+
+  /// Names of the monitors feeding kMonitorViolation events, in monitor
+  /// index order. Also sizes monitor_stats().
+  void set_monitor_names(std::vector<std::string> names);
+  const std::vector<std::string>& monitor_names() const {
+    return monitor_names_;
+  }
+
+  /// Names of the fault kinds feeding kFaultInjected events, indexed by
+  /// the Event::a code. Also sizes fault_stats().
+  void set_fault_kind_names(std::vector<std::string> names);
+  const std::vector<std::string>& fault_kind_names() const {
+    return fault_kind_names_;
+  }
+
+  /// Human-readable one-line rendering (no leading "[time]"); matches the
+  /// legacy sim::Trace text for the kinds the old string trace covered.
+  std::string render(const Event& e) const;
+
+ private:
+  void record_slow(const Event& e);
+
+  const sim::Scheduler& sched_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest retained event
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  KindStats kind_stats_[kEventKindCount];
+  std::vector<KindStats> monitor_stats_;
+  std::vector<KindStats> fault_stats_;
+  std::vector<std::string> monitor_names_;
+  std::vector<std::string> fault_kind_names_;
+};
+
+}  // namespace graybox::obs

@@ -1,0 +1,165 @@
+#include "obs/perfetto.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "obs/event_bus.hpp"
+
+namespace graybox::obs {
+
+namespace {
+
+constexpr int kPidProcesses = 1;
+constexpr int kPidNetwork = 2;
+constexpr int kPidMonitors = 3;
+constexpr int kTidNetTraffic = 0;
+constexpr int kTidNetFaults = 1;
+
+report::Json meta_event(int pid, const char* meta_name, std::string value,
+                        int tid = -1) {
+  report::Json e = report::Json::object();
+  e["ph"] = "M";
+  e["pid"] = pid;
+  if (tid >= 0) e["tid"] = tid;
+  e["name"] = meta_name;
+  report::Json args = report::Json::object();
+  args["name"] = std::move(value);
+  e["args"] = std::move(args);
+  return e;
+}
+
+report::Json instant(int pid, int tid, SimTime ts, std::string name) {
+  report::Json e = report::Json::object();
+  e["ph"] = "i";
+  e["pid"] = pid;
+  e["tid"] = tid;
+  e["ts"] = ts;
+  e["s"] = "t";  // thread-scoped instant
+  e["name"] = std::move(name);
+  return e;
+}
+
+report::Json complete(int pid, int tid, SimTime ts, SimTime dur,
+                      std::string name) {
+  report::Json e = report::Json::object();
+  e["ph"] = "X";
+  e["pid"] = pid;
+  e["tid"] = tid;
+  e["ts"] = ts;
+  e["dur"] = dur;
+  e["name"] = std::move(name);
+  return e;
+}
+
+}  // namespace
+
+report::Json perfetto_trace_json(const EventBus& bus) {
+  report::Json events = report::Json::array();
+
+  // First pass: discover which process and monitor tracks appear, so
+  // metadata precedes data events (viewers tolerate either order, but a
+  // stable header keeps the artifact diffable).
+  std::set<ProcessId> procs;
+  std::set<std::uint16_t> monitors;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const Event& e = bus.event(i);
+    switch (e.kind) {
+      case EventKind::kLocalStep:
+      case EventKind::kCsEnter:
+      case EventKind::kCsExit:
+        procs.insert(e.pid);
+        break;
+      case EventKind::kMonitorViolation:
+        monitors.insert(e.monitor);
+        break;
+      default:
+        break;
+    }
+  }
+
+  events.push_back(meta_event(kPidProcesses, "process_name", "processes"));
+  for (ProcessId p : procs) {
+    events.push_back(meta_event(kPidProcesses, "thread_name",
+                                "proc " + std::to_string(p),
+                                static_cast<int>(p)));
+  }
+  events.push_back(meta_event(kPidNetwork, "process_name", "network"));
+  events.push_back(
+      meta_event(kPidNetwork, "thread_name", "traffic", kTidNetTraffic));
+  events.push_back(
+      meta_event(kPidNetwork, "thread_name", "faults", kTidNetFaults));
+  events.push_back(meta_event(kPidMonitors, "process_name", "monitors"));
+  for (std::uint16_t m : monitors) {
+    std::string name = m < bus.monitor_names().size()
+                           ? bus.monitor_names()[m]
+                           : "monitor#" + std::to_string(m);
+    events.push_back(
+        meta_event(kPidMonitors, "thread_name", std::move(name), m));
+  }
+
+  // Second pass: data events, oldest first. CS occupancy becomes "X"
+  // slices from enter/exit pairs; an exit whose enter was evicted from the
+  // ring degrades to an instant, an enter with no exit stays open to the
+  // last retained time.
+  std::map<ProcessId, SimTime> cs_open;
+  SimTime last_ts = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const Event& e = bus.event(i);
+    last_ts = e.time;
+    switch (e.kind) {
+      case EventKind::kSend:
+      case EventKind::kDeliver:
+      case EventKind::kDrop:
+        events.push_back(
+            instant(kPidNetwork, kTidNetTraffic, e.time, bus.render(e)));
+        break;
+      case EventKind::kLocalStep:
+        events.push_back(instant(kPidProcesses, static_cast<int>(e.pid),
+                                 e.time, bus.render(e)));
+        break;
+      case EventKind::kCsEnter:
+        cs_open[e.pid] = e.time;
+        events.push_back(instant(kPidProcesses, static_cast<int>(e.pid),
+                                 e.time, bus.render(e)));
+        break;
+      case EventKind::kCsExit: {
+        auto it = cs_open.find(e.pid);
+        if (it != cs_open.end()) {
+          events.push_back(complete(kPidProcesses, static_cast<int>(e.pid),
+                                    it->second, e.time - it->second,
+                                    "critical section"));
+          cs_open.erase(it);
+        }
+        events.push_back(instant(kPidProcesses, static_cast<int>(e.pid),
+                                 e.time, bus.render(e)));
+        break;
+      }
+      case EventKind::kFaultInjected:
+      case EventKind::kWrapperCorrection:
+        events.push_back(
+            instant(kPidNetwork, kTidNetFaults, e.time, bus.render(e)));
+        break;
+      case EventKind::kMonitorViolation:
+        events.push_back(
+            instant(kPidMonitors, e.monitor, e.time, bus.render(e)));
+        break;
+    }
+  }
+  for (const auto& [pid, since] : cs_open) {
+    events.push_back(complete(kPidProcesses, static_cast<int>(pid), since,
+                              last_ts >= since ? last_ts - since : 0,
+                              "critical section (open)"));
+  }
+
+  report::Json doc = report::Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+void write_perfetto_file(const std::string& path, const EventBus& bus) {
+  report::write_json_file(path, perfetto_trace_json(bus));
+}
+
+}  // namespace graybox::obs

@@ -1,0 +1,33 @@
+// Chrome/Perfetto trace_event export of the retained event ring.
+//
+// Produces the JSON object format ({"traceEvents":[...]}) understood by
+// ui.perfetto.dev and chrome://tracing. Track layout:
+//
+//   pid 1 "processes"  one thread per simulated process; CS occupancy is
+//                      reconstructed from kCsEnter/kCsExit pairs as "X"
+//                      (complete) slices, other transitions are instants
+//   pid 2 "network"    tid 0: send/deliver/drop instants;
+//                      tid 1: fault injections and wrapper corrections
+//   pid 3 "monitors"   one thread per monitor; violation instants
+//
+// Sim ticks map 1:1 onto trace microseconds (the viewer's native unit), so
+// durations read directly in ticks. The export covers the *retained* ring —
+// size the bus capacity to the run when a complete trace matters.
+#pragma once
+
+#include <string>
+
+#include "common/report.hpp"
+
+namespace graybox::obs {
+
+class EventBus;
+
+/// Build the trace_event document from the bus's retained ring.
+report::Json perfetto_trace_json(const EventBus& bus);
+
+/// Write perfetto_trace_json(bus) to `path` (pretty-printed). Aborts on
+/// I/O failure, like every artifact writer in this repo.
+void write_perfetto_file(const std::string& path, const EventBus& bus);
+
+}  // namespace graybox::obs

@@ -1,0 +1,82 @@
+// Stabilization timeline: the run's convergence story as ordered phases.
+//
+// The paper defines stabilization as confinement of Spec violations to a
+// prefix of the run (Section 2); the quantity of interest is the divergent
+// window between the last injected fault and the last violation. A
+// StabilizationTimeline lays that window out as the ordered sequence
+//
+//   fault burst -> first violation -> per-clause violation decay
+//               -> last violation -> quiescence
+//
+// with exact counts and first/last sim-times per fault kind and per monitor
+// clause. It is a pure value derived either from live component state
+// (SystemHarness::timeline()) or from EventBus aggregates
+// (timeline_from_bus, for hand-wired systems) — both paths agree because
+// they read the same underlying first/last bookkeeping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/report.hpp"
+#include "common/types.hpp"
+
+namespace graybox::obs {
+
+class EventBus;
+
+/// One named event class (a fault kind or a monitor clause) with its exact
+/// count / first / last aggregate over the run.
+struct TimelineEntry {
+  std::string name;
+  std::uint64_t count = 0;
+  SimTime first = kNever;
+  SimTime last = kNever;
+};
+
+struct StabilizationTimeline {
+  SimTime run_end = 0;  ///< sim-time at which the timeline was taken
+
+  // Fault burst.
+  std::uint64_t faults_injected = 0;
+  SimTime first_fault = kNever;
+  SimTime last_fault = kNever;
+  std::vector<TimelineEntry> faults;  ///< per fault kind, injected only
+
+  // Violation decay.
+  std::uint64_t violations_total = 0;
+  SimTime first_violation = kNever;
+  SimTime last_violation = kNever;
+  std::vector<TimelineEntry> clauses;  ///< per monitor, all listed
+
+  // Quiescence: time of the last observable activity (send, delivery,
+  // fault, or violation) and whether the system had settled by run_end.
+  SimTime last_activity = kNever;
+  bool quiescent = false;
+
+  /// Paper Section 5's stabilization latency: ticks from the last fault to
+  /// the last violation. 0 if violations never outlived the burst (or none
+  /// of either happened).
+  SimTime divergent_window() const {
+    if (last_violation == kNever || last_fault == kNever) return 0;
+    return last_violation > last_fault ? last_violation - last_fault : 0;
+  }
+
+  /// True once every violation precedes run_end and no fault is pending —
+  /// i.e. the run's violations are confined to a prefix, the paper's
+  /// stabilization verdict.
+  bool stabilized() const { return quiescent || last_violation < run_end; }
+
+  /// Multi-line human-readable rendering, phase per line (what the
+  /// examples print after a fault burst).
+  std::string to_string() const;
+
+  report::Json to_json() const;
+};
+
+/// Derive a timeline purely from EventBus aggregates. Requires the bus to
+/// have seen the run's kFaultInjected / kMonitorViolation / kSend /
+/// kDeliver events; name tables supply fault and clause labels.
+StabilizationTimeline timeline_from_bus(const EventBus& bus);
+
+}  // namespace graybox::obs

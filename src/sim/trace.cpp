@@ -2,25 +2,42 @@
 
 #include <ostream>
 
+#include "common/contracts.hpp"
+
 namespace graybox::sim {
 
-void Trace::record(SimTime t, std::string text) {
+void Trace::record(SimTime t, std::string_view text) {
   if (capacity_ == 0) return;
-  records_.push_back(Record{t, std::move(text)});
+  const std::size_t slot = (head_ + size_) % capacity_;
+  Record& r = slots_[slot];
+  r.time = t;
+  r.text.assign(text);  // reuses the evicted record's buffer
+  if (size_ < capacity_) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % capacity_;
+  }
   ++total_;
-  while (records_.size() > capacity_) records_.pop_front();
+}
+
+const Trace::Record& Trace::at(std::size_t i) const {
+  GBX_EXPECTS(i < size_);
+  return slots_[(head_ + i) % capacity_];
 }
 
 void Trace::clear() {
-  records_.clear();
+  head_ = 0;
+  size_ = 0;
   total_ = 0;
 }
 
 void Trace::dump(std::ostream& os, std::size_t last_n) const {
   std::size_t start = 0;
-  if (records_.size() > last_n) start = records_.size() - last_n;
-  for (std::size_t i = start; i < records_.size(); ++i)
-    os << '[' << records_[i].time << "] " << records_[i].text << '\n';
+  if (size_ > last_n) start = size_ - last_n;
+  for (std::size_t i = start; i < size_; ++i) {
+    const Record& r = at(i);
+    os << '[' << r.time << "] " << r.text << '\n';
+  }
 }
 
 }  // namespace graybox::sim

@@ -1,14 +1,22 @@
 // Bounded textual trace of simulator activity.
 //
 // The trace is a debugging aid, not the monitoring substrate: specification
-// conformance is judged by src/spec and src/lspec over typed snapshots. The
-// trace exists so that failing tests and example binaries can print the tail
-// of "what happened" in human terms.
+// conformance is judged by src/spec and src/lspec over typed snapshots, and
+// the typed record of "what happened" is the obs::EventBus. The trace exists
+// so that failing tests and example binaries can print the tail of a run in
+// human terms; the harness keeps it as a lazily-rendered text view over the
+// event bus.
+//
+// Storage is a circular buffer allocated once from `capacity`; eviction
+// reuses the evicted slot's string buffer (assign, not reallocate), so a
+// steady-state trace performs no per-record allocation once every retained
+// string has grown to its high-water length.
 #pragma once
 
-#include <deque>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -16,18 +24,26 @@ namespace graybox::sim {
 
 class Trace {
  public:
-  /// Keep at most `capacity` most-recent records.
-  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+  /// Keep at most `capacity` most-recent records. 0 disables recording.
+  explicit Trace(std::size_t capacity = 4096)
+      : capacity_(capacity), slots_(capacity) {}
 
-  void record(SimTime t, std::string text);
+  void record(SimTime t, std::string_view text);
 
-  /// Oldest-first access to the retained records.
   struct Record {
-    SimTime time;
+    SimTime time = 0;
     std::string text;
   };
-  const std::deque<Record>& records() const { return records_; }
 
+  /// Number of retained records (<= capacity).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// i-th retained record, 0 = oldest.
+  const Record& at(std::size_t i) const;
+
+  /// Total records ever recorded, retained or evicted.
   std::uint64_t total_recorded() const { return total_; }
   void clear();
 
@@ -36,7 +52,9 @@ class Trace {
 
  private:
   std::size_t capacity_;
-  std::deque<Record> records_;
+  std::vector<Record> slots_;
+  std::size_t head_ = 0;  ///< index of the oldest retained record
+  std::size_t size_ = 0;
   std::uint64_t total_ = 0;
 };
 

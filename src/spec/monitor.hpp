@@ -21,6 +21,7 @@
 // per-process-local monitors override it and skip the unchanged rows.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -30,6 +31,12 @@
 #include "spec/violation.hpp"
 
 namespace graybox::spec {
+
+/// Out-of-band notification fired on every report()ed violation, carrying
+/// the violation time and the monitor's index in its owning MonitorSet.
+/// Type-erased (std::function) so the spec layer stays independent of the
+/// observability layer that consumes it.
+using ViolationHook = std::function<void(SimTime, std::size_t)>;
 
 /// Dirty hints for step_delta. Anything else is the index of the single
 /// changed process; rows outside the hint are bit-identical between prev
@@ -76,6 +83,15 @@ class Monitor {
   /// Earliest violation time; kNever when clean.
   SimTime first_violation() const { return first_violation_; }
 
+  /// Install the out-of-band violation notification. Normally called by
+  /// MonitorSet::set_violation_hook with the monitor's set index; the hook
+  /// outlives the monitor via shared ownership.
+  void set_violation_hook(std::shared_ptr<ViolationHook> hook,
+                          std::size_t index) {
+    hook_ = std::move(hook);
+    hook_index_ = index;
+  }
+
  protected:
   static constexpr std::size_t kMaxRetained = 256;
 
@@ -85,6 +101,7 @@ class Monitor {
     ++total_violations_;
     if (violations_.size() < kMaxRetained)
       violations_.push_back(Violation{t, name_, std::move(detail)});
+    if (hook_ && *hook_) (*hook_)(t, hook_index_);
   }
 
  private:
@@ -93,6 +110,8 @@ class Monitor {
   std::uint64_t total_violations_ = 0;
   SimTime first_violation_ = kNever;
   SimTime last_violation_ = kNever;
+  std::shared_ptr<ViolationHook> hook_;
+  std::size_t hook_index_ = 0;
 };
 
 /// Owns a set of monitors and drives them with the begin/step/finish
@@ -106,8 +125,26 @@ class MonitorSet {
   M& add(Args&&... args) {
     auto monitor = std::make_unique<M>(std::forward<Args>(args)...);
     M& ref = *monitor;
+    if (hook_) ref.set_violation_hook(hook_, monitors_.size());
     monitors_.push_back(std::move(monitor));
     return ref;
+  }
+
+  /// Install one hook fired by every monitor in the set (present and
+  /// future) on each violation, with the monitor's installation index.
+  void set_violation_hook(ViolationHook hook) {
+    hook_ = std::make_shared<ViolationHook>(std::move(hook));
+    for (std::size_t i = 0; i < monitors_.size(); ++i)
+      monitors_[i]->set_violation_hook(hook_, i);
+  }
+
+  /// Monitor names in installation order (the index space of the hook and
+  /// of violations_total_by_monitor).
+  std::vector<std::string> monitor_names() const {
+    std::vector<std::string> names;
+    names.reserve(monitors_.size());
+    for (const auto& m : monitors_) names.push_back(m->name());
+    return names;
   }
 
   /// Feed the state observed at time t. The first call becomes begin().
@@ -202,6 +239,7 @@ class MonitorSet {
 
  private:
   std::vector<std::unique_ptr<Monitor<S>>> monitors_;
+  std::shared_ptr<ViolationHook> hook_;
   S previous_{};
   const S* last_ = nullptr;
   bool started_ = false;

@@ -27,6 +27,13 @@ void GrayboxWrapper::evaluate() {
     // ~h.k and the pair needs no fix.
     if (!config_.unrefined_send_all && process_.knows_earlier(k)) continue;
     ++resends_;
+    if (bus_ != nullptr) {
+      obs::Event e;
+      e.kind = obs::EventKind::kWrapperCorrection;
+      e.pid = j;
+      e.peer = k;
+      bus_->record(e);
+    }
     net_.send(j, k, net::MsgType::kRequest, req, /*from_wrapper=*/true);
   }
   // Re-arming (timer.j := delta.j) is handled by PeriodicTimer.

@@ -30,6 +30,7 @@
 
 #include "me/tme_process.hpp"
 #include "net/network.hpp"
+#include "obs/event_bus.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/timer.hpp"
 
@@ -65,6 +66,10 @@ class GrayboxWrapper {
   /// for tests; normally driven by the internal timer.
   void evaluate();
 
+  /// Attach the observability bus; every resend is recorded as a
+  /// kWrapperCorrection event (in addition to the network's kSend).
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+
  private:
   sim::Scheduler& sched_;
   net::Network& net_;
@@ -72,6 +77,7 @@ class GrayboxWrapper {
   WrapperConfig config_;
   sim::PeriodicTimer timer_;
   std::uint64_t resends_ = 0;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace graybox::wrapper

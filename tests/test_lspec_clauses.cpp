@@ -177,7 +177,9 @@ TEST(HarnessTrace, RecordsWhenEnabled) {
   EXPECT_GT(h.trace().total_recorded(), 0u);
   // Spot-check record shapes.
   bool saw_send = false, saw_transition = false;
-  for (const auto& r : h.trace().records()) {
+  const sim::Trace& trace = h.trace();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& r = trace.at(i);
     if (r.text.rfind("send ", 0) == 0) saw_send = true;
     if (r.text.find(" -> ") != std::string::npos &&
         r.text.rfind("proc ", 0) == 0)

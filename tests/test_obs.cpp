@@ -1,0 +1,582 @@
+// The observability layer: typed EventBus (ring + exact aggregates),
+// metrics registry and its engine-side aggregate fold, stabilization
+// timelines, and the Perfetto export — plus the load-bearing guarantees
+// that (a) every exported metric/timeline artifact is byte-identical
+// across --jobs values and repeated runs, and (b) the two timeline
+// derivations (live harness state vs. bus aggregates) agree.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/report.hpp"
+#include "core/engine.hpp"
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+#include "net/fault_injector.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/timeline.hpp"
+#include "sim/scheduler.hpp"
+
+namespace graybox {
+namespace {
+
+using obs::Event;
+using obs::EventBus;
+using obs::EventKind;
+
+// --- EventBus: ring, aggregates, rendering -----------------------------------
+
+Event send_event(ProcessId from, ProcessId to, std::uint64_t counter = 0) {
+  Event e;
+  e.kind = EventKind::kSend;
+  e.pid = from;
+  e.peer = to;
+  e.payload = counter;
+  return e;
+}
+
+TEST(EventBus, StampsSchedulerTimeAndRetainsOldestFirst) {
+  sim::Scheduler sched;
+  EventBus bus(sched, 16);
+  EXPECT_TRUE(bus.enabled());
+  for (const SimTime t : {3, 7, 7, 12}) {
+    sched.schedule_after(t - sched.now(),
+                         [&bus] { bus.record(send_event(0, 1)); });
+    while (sched.step()) {
+    }
+  }
+  ASSERT_EQ(bus.size(), 4u);
+  EXPECT_EQ(bus.total_recorded(), 4u);
+  const SimTime expected[] = {3, 7, 7, 12};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(bus.event(i).time, expected[i]) << i;
+  }
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).count, 4u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).first, 3u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).last, 12u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kDeliver).count, 0u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kDeliver).first, kNever);
+}
+
+TEST(EventBus, DisabledBusRecordsNothing) {
+  sim::Scheduler sched;
+  EventBus bus(sched, 0);
+  EXPECT_FALSE(bus.enabled());
+  bus.record(send_event(0, 1));
+  bus.record(send_event(1, 0));
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_recorded(), 0u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).count, 0u);
+}
+
+TEST(EventBus, RingEvictsOldestButAggregatesStayExact) {
+  sim::Scheduler sched;
+  EventBus bus(sched, 3);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    sched.schedule_after(1, [&bus, i] { bus.record(send_event(0, 1, i)); });
+    while (sched.step()) {
+    }
+  }
+  // Only the last 3 are retained...
+  ASSERT_EQ(bus.size(), 3u);
+  EXPECT_EQ(bus.event(0).payload, 8u);
+  EXPECT_EQ(bus.event(1).payload, 9u);
+  EXPECT_EQ(bus.event(2).payload, 10u);
+  // ...but counts and first/last survive eviction exactly.
+  EXPECT_EQ(bus.total_recorded(), 10u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).count, 10u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).first, 1u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).last, 10u);
+}
+
+TEST(EventBus, PerMonitorAndPerFaultAggregates) {
+  sim::Scheduler sched;
+  EventBus bus(sched, 8);
+  bus.set_monitor_names({"ME1", "ME2"});
+  bus.set_fault_kind_names(net::fault_kind_names());
+  ASSERT_EQ(bus.monitor_stats().size(), 2u);
+  ASSERT_EQ(bus.fault_stats().size(), net::kFaultKindCount);
+
+  auto at = [&](SimTime delay, Event e) {
+    sched.schedule_after(delay, [&bus, e] { bus.record(e); });
+    while (sched.step()) {
+    }
+  };
+  Event v;
+  v.kind = EventKind::kMonitorViolation;
+  v.monitor = 1;
+  at(5, v);
+  at(2, v);  // t = 7
+  Event f;
+  f.kind = EventKind::kFaultInjected;
+  f.a = static_cast<std::uint8_t>(net::FaultKind::kChannelClear);
+  at(1, f);  // t = 8
+
+  EXPECT_EQ(bus.monitor_stats()[0].count, 0u);
+  EXPECT_EQ(bus.monitor_stats()[1].count, 2u);
+  EXPECT_EQ(bus.monitor_stats()[1].first, 5u);
+  EXPECT_EQ(bus.monitor_stats()[1].last, 7u);
+  const auto clear = static_cast<std::size_t>(net::FaultKind::kChannelClear);
+  EXPECT_EQ(bus.fault_stats()[clear].count, 1u);
+  EXPECT_EQ(bus.fault_stats()[clear].first, 8u);
+}
+
+TEST(EventBus, ClearResetsRingAndAggregates) {
+  sim::Scheduler sched;
+  EventBus bus(sched, 4);
+  bus.set_monitor_names({"ME1"});
+  Event v;
+  v.kind = EventKind::kMonitorViolation;
+  v.monitor = 0;
+  bus.record(v);
+  bus.record(send_event(0, 1));
+  ASSERT_EQ(bus.size(), 2u);
+  bus.clear();
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_recorded(), 0u);
+  EXPECT_EQ(bus.kind_stats(EventKind::kSend).count, 0u);
+  EXPECT_EQ(bus.monitor_stats()[0].count, 0u);
+  // The bus remains usable after clear().
+  bus.record(send_event(2, 3));
+  EXPECT_EQ(bus.size(), 1u);
+  EXPECT_EQ(bus.total_recorded(), 1u);
+}
+
+TEST(EventBus, RenderMatchesLegacyTraceText) {
+  sim::Scheduler sched;
+  EventBus bus(sched, 4);
+  bus.set_monitor_names({"ME1"});
+  bus.set_fault_kind_names(net::fault_kind_names());
+
+  Event send = send_event(0, 1, 5);
+  send.a = 0;  // request
+  send.aux = 0;
+  EXPECT_EQ(bus.render(send), "send request(5.0) 0->1");
+  send.flags = Event::kFromWrapper;
+  EXPECT_EQ(bus.render(send), "send request(5.0) 0->1 [wrapper]");
+
+  Event recv = send_event(1, 0, 3);
+  recv.kind = EventKind::kDeliver;
+  recv.a = 1;  // reply
+  recv.aux = 2;
+  EXPECT_EQ(bus.render(recv), "recv reply(3.2) 1->0");
+
+  Event drop;
+  drop.kind = EventKind::kDrop;
+  drop.payload = 4;
+  EXPECT_EQ(bus.render(drop), "drop 4 message(s)");
+
+  Event step;
+  step.kind = EventKind::kLocalStep;
+  step.pid = 0;
+  step.a = 0;  // thinking
+  step.b = 1;  // hungry
+  EXPECT_EQ(bus.render(step), "proc 0: thinking -> hungry");
+
+  Event fault;
+  fault.kind = EventKind::kFaultInjected;
+  fault.a = static_cast<std::uint8_t>(net::FaultKind::kProcessCorrupt);
+  fault.pid = 2;
+  EXPECT_EQ(bus.render(fault),
+            std::string("fault ") +
+                net::to_string(net::FaultKind::kProcessCorrupt) + " @proc 2");
+
+  Event resend;
+  resend.kind = EventKind::kWrapperCorrection;
+  resend.pid = 1;
+  resend.peer = 3;
+  EXPECT_EQ(bus.render(resend), "wrapper 1: resend REQ to 3");
+
+  Event viol;
+  viol.kind = EventKind::kMonitorViolation;
+  viol.monitor = 0;
+  EXPECT_EQ(bus.render(viol), "violation ME1");
+  viol.monitor = 9;  // out of table
+  EXPECT_EQ(bus.render(viol), "violation monitor#9");
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, Pow2BoundsShape) {
+  const auto bounds = obs::Histogram::pow2_bounds(4);
+  const std::vector<std::uint64_t> expected = {0, 1, 2, 4, 8, 16};
+  EXPECT_EQ(bounds, expected);
+}
+
+TEST(Histogram, BucketAssignmentAndMoments) {
+  obs::Histogram h(obs::Histogram::pow2_bounds(3));  // 0,1,2,4,8 + overflow
+  ASSERT_EQ(h.buckets().size(), 6u);
+  for (const std::uint64_t v : {0u, 0u, 1u, 2u, 3u, 4u, 8u, 9u, 100u}) {
+    h.observe(v);
+  }
+  EXPECT_EQ(h.count(), 9u);
+  EXPECT_EQ(h.sum(), 127u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 127.0 / 9.0);
+  // Bucket i counts values in (bounds[i-1], bounds[i]].
+  EXPECT_EQ(h.buckets()[0], 2u);  // <= 0
+  EXPECT_EQ(h.buckets()[1], 1u);  // 1
+  EXPECT_EQ(h.buckets()[2], 1u);  // 2
+  EXPECT_EQ(h.buckets()[3], 2u);  // 3..4
+  EXPECT_EQ(h.buckets()[4], 1u);  // 5..8
+  EXPECT_EQ(h.buckets()[5], 2u);  // overflow: 9, 100
+}
+
+TEST(Histogram, EmptyIsWellDefined) {
+  obs::Histogram h({10, 20});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateAndSnapshotOrder) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("zebra").inc(3);
+  reg.gauge("alpha").set(-5);
+  reg.gauge("alpha").set(9);
+  reg.histogram("wait", obs::Histogram::pow2_bounds(2)).observe(3);
+  reg.counter("zebra").inc();  // same instrument, not a new entry
+  EXPECT_EQ(reg.size(), 3u);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Registration order, not alphabetical.
+  EXPECT_EQ(snap[0].name, "zebra");
+  EXPECT_EQ(snap[0].kind, obs::MetricSample::Kind::kCounter);
+  EXPECT_EQ(snap[0].value, 4);
+  EXPECT_EQ(snap[1].name, "alpha");
+  EXPECT_EQ(snap[1].kind, obs::MetricSample::Kind::kGauge);
+  EXPECT_EQ(snap[1].value, 9);
+  EXPECT_EQ(snap[2].name, "wait");
+  EXPECT_EQ(snap[2].kind, obs::MetricSample::Kind::kHistogram);
+  EXPECT_EQ(snap[2].value, 1);  // observation count
+  EXPECT_EQ(snap[2].sum, 3u);
+  ASSERT_EQ(snap[2].buckets.size(), snap[2].bounds.size() + 1);
+}
+
+TEST(Gauge, TracksWatermarks) {
+  obs::Gauge g;
+  EXPECT_FALSE(g.ever_set());
+  g.set(5);
+  g.set(-2);
+  g.set(3);
+  EXPECT_TRUE(g.ever_set());
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.low(), -2);
+  EXPECT_EQ(g.high(), 5);
+}
+
+TEST(MetricsSnapshotJson, CarriesEveryInstrument) {
+  obs::MetricsRegistry reg;
+  reg.counter("sends").inc(7);
+  reg.histogram("depth", {1, 2}).observe(2);
+  const std::string text =
+      obs::metrics_snapshot_to_json(reg.snapshot()).dump();
+  EXPECT_NE(text.find("\"sends\""), std::string::npos);
+  EXPECT_NE(text.find("\"depth\""), std::string::npos);
+  EXPECT_NE(text.find("\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"histogram\""), std::string::npos);
+}
+
+// --- MetricsAggregate: the engine's fold -------------------------------------
+
+obs::MetricsSnapshot fake_trial_snapshot(std::uint64_t seed) {
+  obs::MetricsRegistry reg;
+  reg.counter("cs").inc(10 + seed);
+  auto& h = reg.histogram("wait", obs::Histogram::pow2_bounds(3));
+  for (std::uint64_t v = 0; v <= seed; ++v) h.observe(v);
+  return reg.snapshot();
+}
+
+TEST(MetricsAggregate, SplitMergeEqualsSequentialFold) {
+  obs::MetricsAggregate serial;
+  for (std::uint64_t s = 0; s < 6; ++s) serial.add(fake_trial_snapshot(s));
+
+  obs::MetricsAggregate left, right;
+  for (std::uint64_t s = 0; s < 3; ++s) left.add(fake_trial_snapshot(s));
+  for (std::uint64_t s = 3; s < 6; ++s) right.add(fake_trial_snapshot(s));
+  left.merge(right);
+
+  // Same fold, byte for byte — the engine's jobs-independence argument.
+  EXPECT_EQ(left.to_json().dump(), serial.to_json().dump());
+
+  obs::MetricsAggregate identity;
+  identity.merge(serial);
+  EXPECT_EQ(identity.to_json().dump(), serial.to_json().dump());
+}
+
+TEST(MetricsAggregate, JsonShape) {
+  obs::MetricsAggregate agg;
+  agg.add(fake_trial_snapshot(1));
+  agg.add(fake_trial_snapshot(2));
+  const std::string text = agg.to_json().dump(0);
+  EXPECT_NE(text.find("\"cs\""), std::string::npos);
+  EXPECT_NE(text.find("\"trials\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"mean\""), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\""), std::string::npos);
+}
+
+// --- Harness integration -----------------------------------------------------
+
+core::HarnessConfig obs_config(std::uint64_t seed) {
+  core::HarnessConfig config;
+  config.n = 3;
+  config.wrapped = true;
+  config.client.think_mean = 30;
+  config.client.eat_mean = 5;
+  config.seed = seed;
+  return config;
+}
+
+// One short faulted run: warmup, burst, observation, drain.
+void run_burst(core::SystemHarness& h, std::size_t burst = 8) {
+  h.start();
+  h.run_for(400);
+  h.faults().burst(burst, net::FaultMix::all());
+  h.run_for(2500);
+  h.drain(2000);
+}
+
+TEST(HarnessMetrics, CollectedAndDeterministic) {
+  core::HarnessConfig config = obs_config(42);
+  config.collect_metrics = true;
+  core::SystemHarness h(config);
+  run_burst(h);
+  const core::RunStats stats = h.stats();
+  ASSERT_FALSE(stats.metrics.empty());
+
+  std::uint64_t fault_counter_sum = 0;
+  std::uint64_t violation_counter_sum = 0;
+  std::uint64_t cs_wait_count = 0;
+  bool saw_depth = false, saw_in_flight = false, saw_resends = false;
+  for (const obs::MetricSample& s : stats.metrics) {
+    if (s.name.rfind("faults.", 0) == 0) {
+      fault_counter_sum += static_cast<std::uint64_t>(s.value);
+    } else if (s.name.rfind("violations.", 0) == 0) {
+      violation_counter_sum += static_cast<std::uint64_t>(s.value);
+    } else if (s.name == "cs_wait_ticks") {
+      cs_wait_count = static_cast<std::uint64_t>(s.value);
+    } else if (s.name == "channel_queue_depth") {
+      saw_depth = true;
+    } else if (s.name == "net_in_flight") {
+      saw_in_flight = true;
+    } else if (s.name == "wrapper_resends") {
+      saw_resends = s.value >= 0;
+    }
+  }
+  // The pull counters mirror the authoritative component state exactly.
+  EXPECT_EQ(fault_counter_sum, stats.faults_injected);
+  EXPECT_EQ(violation_counter_sum, h.monitors().total_violations());
+  // Every hungry -> eating entry recorded a wait; corruption-induced CS
+  // entries (no hungry phase) legitimately record none.
+  EXPECT_GT(stats.cs_entries, 0u);
+  EXPECT_GT(cs_wait_count, 0u);
+  EXPECT_LE(cs_wait_count, stats.cs_entries);
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_in_flight);
+  EXPECT_TRUE(saw_resends);
+
+  // Identical seed, fresh harness: byte-identical metrics artifact.
+  core::SystemHarness h2(config);
+  run_burst(h2);
+  EXPECT_EQ(obs::metrics_snapshot_to_json(h2.stats().metrics).dump(),
+            obs::metrics_snapshot_to_json(stats.metrics).dump());
+}
+
+TEST(HarnessTimeline, ConsistentWithStabilizationReport) {
+  core::SystemHarness h(obs_config(7));
+  run_burst(h);
+  const core::StabilizationReport report = h.stabilization_report();
+  const obs::StabilizationTimeline tl = h.timeline();
+
+  EXPECT_EQ(tl.run_end, h.scheduler().now());
+  EXPECT_GT(tl.faults_injected, 0u);
+  EXPECT_EQ(tl.last_fault, report.last_fault);
+  EXPECT_LE(tl.first_fault, tl.last_fault);
+
+  // The timeline watches every monitor; the report only the safety subset.
+  // Its divergent window can therefore only be wider than the report's
+  // latency, never narrower.
+  EXPECT_GE(tl.divergent_window(), report.latency);
+  EXPECT_EQ(tl.clauses.size(), h.monitors().monitors().size());
+  std::uint64_t clause_sum = 0;
+  for (const obs::TimelineEntry& c : tl.clauses) clause_sum += c.count;
+  EXPECT_EQ(clause_sum, tl.violations_total);
+  EXPECT_EQ(tl.violations_total, h.monitors().total_violations());
+  if (report.stabilized && tl.quiescent) {
+    EXPECT_TRUE(tl.stabilized());
+  }
+
+  // Per-kind fault entries sum back to the burst total.
+  std::uint64_t fault_sum = 0;
+  for (const obs::TimelineEntry& f : tl.faults) fault_sum += f.count;
+  EXPECT_EQ(fault_sum, tl.faults_injected);
+  EXPECT_EQ(tl.faults_injected, h.faults().total_injected());
+
+  // Rendering mentions every phase of the convergence story.
+  const std::string text = tl.to_string();
+  EXPECT_NE(text.find("fault burst:"), std::string::npos);
+  EXPECT_NE(text.find("first violation:"), std::string::npos);
+  EXPECT_NE(text.find("violation decay:"), std::string::npos);
+  EXPECT_NE(text.find("divergent window:"), std::string::npos);
+  EXPECT_NE(text.find("quiescence:"), std::string::npos);
+  // And the JSON form is present and structurally sound.
+  const report::Json doc = tl.to_json();
+  EXPECT_TRUE(doc.contains("fault_burst"));
+  EXPECT_TRUE(doc.contains("violations"));
+  EXPECT_TRUE(doc.contains("divergent_window"));
+}
+
+TEST(HarnessTimeline, BusDerivationAgreesWithLiveState) {
+  core::HarnessConfig config = obs_config(11);
+  config.trace_capacity = 1u << 20;  // retain the whole run
+  core::SystemHarness h(config);
+  run_burst(h);
+
+  const obs::StabilizationTimeline live = h.timeline();
+  const obs::StabilizationTimeline from_bus = obs::timeline_from_bus(h.events());
+
+  EXPECT_EQ(from_bus.run_end, live.run_end);
+  EXPECT_EQ(from_bus.faults_injected, live.faults_injected);
+  EXPECT_EQ(from_bus.first_fault, live.first_fault);
+  EXPECT_EQ(from_bus.last_fault, live.last_fault);
+  EXPECT_EQ(from_bus.violations_total, live.violations_total);
+  EXPECT_EQ(from_bus.first_violation, live.first_violation);
+  EXPECT_EQ(from_bus.last_violation, live.last_violation);
+  EXPECT_EQ(from_bus.last_activity, live.last_activity);
+  EXPECT_EQ(from_bus.divergent_window(), live.divergent_window());
+
+  // Same per-clause decay, by name and by numbers.
+  ASSERT_EQ(from_bus.clauses.size(), live.clauses.size());
+  for (std::size_t i = 0; i < live.clauses.size(); ++i) {
+    EXPECT_EQ(from_bus.clauses[i].name, live.clauses[i].name) << i;
+    EXPECT_EQ(from_bus.clauses[i].count, live.clauses[i].count) << i;
+    EXPECT_EQ(from_bus.clauses[i].first, live.clauses[i].first) << i;
+    EXPECT_EQ(from_bus.clauses[i].last, live.clauses[i].last) << i;
+  }
+}
+
+TEST(HarnessTrace, LazyViewPreservesLegacyFormat) {
+  core::HarnessConfig config = obs_config(5);
+  config.trace_capacity = 2048;
+  core::SystemHarness h(config);
+  h.start();
+  h.run_for(500);
+
+  const sim::Trace& trace = h.trace();
+  ASSERT_GT(trace.size(), 0u);
+  EXPECT_LE(trace.size(), 2048u);
+  bool saw_send = false, saw_recv = false, saw_transition = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::string& text = trace.at(i).text;
+    saw_send = saw_send || text.rfind("send ", 0) == 0;
+    saw_recv = saw_recv || text.rfind("recv ", 0) == 0;
+    saw_transition = saw_transition || text.rfind("proc ", 0) == 0;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_recv);
+  EXPECT_TRUE(saw_transition);
+
+  // The view tracks the bus: more simulation, more (or newer) records.
+  const std::uint64_t before = h.events().total_recorded();
+  h.run_for(500);
+  EXPECT_GT(h.events().total_recorded(), before);
+  // The re-rendered view covers exactly the retained ring.
+  EXPECT_EQ(h.trace().total_recorded(), h.events().size());
+  EXPECT_EQ(h.trace().size(), h.events().size());
+
+  // dump() keeps the legacy "[time] text" shape.
+  std::ostringstream os;
+  h.trace().dump(os, 5);
+  EXPECT_EQ(os.str().front(), '[');
+}
+
+TEST(HarnessTrace, DisabledByDefault) {
+  core::SystemHarness h(obs_config(5));
+  h.start();
+  h.run_for(300);
+  EXPECT_FALSE(h.events().enabled());
+  EXPECT_EQ(h.events().total_recorded(), 0u);
+  EXPECT_TRUE(h.trace().empty());
+  EXPECT_TRUE(h.stats().metrics.empty());
+}
+
+// --- Perfetto export ---------------------------------------------------------
+
+TEST(Perfetto, ExportsValidTrackLayout) {
+  core::HarnessConfig config = obs_config(13);
+  config.trace_capacity = 1u << 20;
+  core::SystemHarness h(config);
+  run_burst(h);
+
+  const report::Json doc = obs::perfetto_trace_json(h.events());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  EXPECT_GT(doc.at("traceEvents").size(), 100u);
+
+  const std::string text = doc.dump(0);
+  // Track metadata for all three pids.
+  EXPECT_NE(text.find("\"processes\""), std::string::npos);
+  EXPECT_NE(text.find("\"network\""), std::string::npos);
+  EXPECT_NE(text.find("\"monitors\""), std::string::npos);
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  // Metadata, instant, and complete events all present: a faulted run has
+  // traffic instants and CS occupancy slices.
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"critical section\""), std::string::npos);
+  EXPECT_NE(text.find("\"fault "), std::string::npos);
+
+  // Deterministic: same seed, fresh run, identical artifact.
+  core::SystemHarness h2(config);
+  run_burst(h2);
+  EXPECT_EQ(obs::perfetto_trace_json(h2.events()).dump(0), text);
+}
+
+// --- Engine artifacts: byte-identical across jobs ----------------------------
+
+TEST(EngineMetrics, CellJsonByteIdenticalAcrossJobs) {
+  core::FaultScenario scenario;
+  scenario.warmup = 300;
+  scenario.burst = 6;
+  scenario.observation = 2500;
+  scenario.drain = 2000;
+  core::SpecGrid grid;
+  grid.add("obs_cell", obs_config(1234), scenario, 6);
+
+  const core::GridResult serial =
+      core::ExperimentEngine(core::EngineOptions{.jobs = 1}).run(grid);
+  const core::GridResult parallel =
+      core::ExperimentEngine(core::EngineOptions{.jobs = 8}).run(grid);
+
+  // The engine forces metrics collection per trial, so the artifact grows a
+  // metrics section...
+  const std::string full =
+      core::grid_to_json("obs_smoke", serial).dump();
+  EXPECT_NE(full.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(full.find("\"cs_wait_ticks\""), std::string::npos);
+  EXPECT_NE(full.find("\"wrapper_resends\""), std::string::npos);
+
+  // ...and that section — like everything else — is byte-identical between
+  // --jobs 1 and --jobs 8 once the wall-clock lines are stripped.
+  const std::string a = report::strip_volatile_lines(
+      core::grid_to_json("obs_smoke", serial).dump());
+  const std::string b = report::strip_volatile_lines(
+      core::grid_to_json("obs_smoke", parallel).dump());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graybox

@@ -330,23 +330,26 @@ TEST(Trace, RecordsInOrder) {
   Trace trace;
   trace.record(1, "a");
   trace.record(2, "b");
-  ASSERT_EQ(trace.records().size(), 2u);
-  EXPECT_EQ(trace.records()[0].text, "a");
-  EXPECT_EQ(trace.records()[1].time, 2u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.at(0).text, "a");
+  EXPECT_EQ(trace.at(1).time, 2u);
 }
 
 TEST(Trace, EvictsOldestBeyondCapacity) {
   Trace trace(3);
   for (int i = 0; i < 10; ++i) trace.record(i, std::to_string(i));
-  ASSERT_EQ(trace.records().size(), 3u);
-  EXPECT_EQ(trace.records()[0].text, "7");
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.at(0).text, "7");
+  EXPECT_EQ(trace.at(1).text, "8");
+  EXPECT_EQ(trace.at(2).text, "9");
   EXPECT_EQ(trace.total_recorded(), 10u);
 }
 
 TEST(Trace, ZeroCapacityDropsEverything) {
   Trace trace(0);
   trace.record(1, "x");
-  EXPECT_TRUE(trace.records().empty());
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.total_recorded(), 0u);
 }
 
 TEST(Trace, DumpFormatsTail) {
@@ -357,12 +360,62 @@ TEST(Trace, DumpFormatsTail) {
   EXPECT_EQ(oss.str(), "[5] hello\n");
 }
 
+TEST(Trace, DumpLastNTruncatesToTail) {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) trace.record(i, "r" + std::to_string(i));
+  std::ostringstream oss;
+  trace.dump(oss, 2);
+  EXPECT_EQ(oss.str(), "[3] r3\n[4] r4\n");
+}
+
+TEST(Trace, DumpZeroPrintsNothing) {
+  Trace trace;
+  trace.record(1, "x");
+  std::ostringstream oss;
+  trace.dump(oss, 0);
+  EXPECT_EQ(oss.str(), "");
+}
+
+TEST(Trace, DumpMoreThanSizePrintsEverything) {
+  Trace trace(4);
+  for (int i = 0; i < 3; ++i) trace.record(i, std::to_string(i));
+  std::ostringstream oss;
+  trace.dump(oss, 100);
+  EXPECT_EQ(oss.str(), "[0] 0\n[1] 1\n[2] 2\n");
+}
+
+TEST(Trace, DumpAfterEvictionStartsAtOldestRetained) {
+  Trace trace(2);
+  for (int i = 0; i < 5; ++i) trace.record(i, std::to_string(i));
+  std::ostringstream oss;
+  trace.dump(oss);
+  EXPECT_EQ(oss.str(), "[3] 3\n[4] 4\n");
+}
+
+TEST(Trace, TotalRecordedCountsEvicted) {
+  Trace trace(2);
+  EXPECT_EQ(trace.capacity(), 2u);
+  for (int i = 0; i < 7; ++i) trace.record(i, "x");
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.total_recorded(), 7u);
+}
+
 TEST(Trace, ClearResets) {
   Trace trace;
   trace.record(1, "x");
   trace.clear();
-  EXPECT_TRUE(trace.records().empty());
+  EXPECT_TRUE(trace.empty());
   EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(Trace, RecordAfterClearStartsFresh) {
+  Trace trace(3);
+  for (int i = 0; i < 5; ++i) trace.record(i, std::to_string(i));
+  trace.clear();
+  trace.record(9, "fresh");
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.at(0).time, 9u);
+  EXPECT_EQ(trace.at(0).text, "fresh");
 }
 
 }  // namespace

@@ -29,6 +29,19 @@ int main(int argc, char** argv) {
                {"fault-kind",
                 "all | drop | duplicate | corrupt | reorder | spurious | "
                 "process | clear (default all)"},
+               {"fault-load",
+                "sustained load: mean ticks between arrivals on EACH "
+                "message-fault stream (drop/duplicate/corrupt/spurious/"
+                "process), running from warmup end to drain start "
+                "(default 0 = off)"},
+               {"crash-rate",
+                "sustained load: mean ticks between process crashes "
+                "(default 0 = off)"},
+               {"downtime", "mean crash downtime ticks (default 150)"},
+               {"partition-rate",
+                "sustained load: mean ticks between partitions "
+                "(default 0 = off)"},
+               {"hold", "mean partition hold ticks (default 120)"},
                {"warmup", "fault-free prefix ticks (default 1000)"},
                {"horizon", "observation ticks after the burst (default 8000)"},
                {"drain", "drain ticks before judging liveness (default 5000)"},
@@ -88,13 +101,34 @@ int main(int argc, char** argv) {
   else if (kind_name == "clear")
     mix = net::FaultMix::only(net::FaultKind::kChannelClear);
 
-  SystemHarness system(config);
-  system.start();
-
   const auto warmup = static_cast<SimTime>(flags.get_int("warmup", 1000));
   const auto horizon = static_cast<SimTime>(flags.get_int("horizon", 8000));
   const auto drain = static_cast<SimTime>(flags.get_int("drain", 5000));
   const auto burst = static_cast<std::size_t>(flags.get_int("faults", 10));
+
+  // Sustained fault load (net::FaultProcess): continuous seeded streams
+  // over the observation window, on top of (or instead of) the burst.
+  const double load = flags.get_double("fault-load", 0);
+  if (load > 0) {
+    config.fault_process.drop_mean = load;
+    config.fault_process.duplicate_mean = load;
+    config.fault_process.corrupt_mean = load;
+    config.fault_process.spurious_mean = load;
+    config.fault_process.process_corrupt_mean = load;
+  }
+  config.fault_process.crash_mean = flags.get_double("crash-rate", 0);
+  config.fault_process.downtime_mean = flags.get_double("downtime", 150);
+  config.fault_process.partition_mean = flags.get_double("partition-rate", 0);
+  config.fault_process.partition_hold_mean = flags.get_double("hold", 120);
+  if (config.fault_process.any_enabled()) {
+    // Keep the warmup fault-free and the drain quiet so the stabilization
+    // verdict keeps its meaning.
+    config.fault_process.start = warmup;
+    config.fault_process.end = warmup + horizon;
+  }
+
+  SystemHarness system(config);
+  system.start();
 
   system.run_for(warmup);
   if (burst > 0) system.faults().burst(burst, mix);
@@ -110,7 +144,13 @@ int main(int argc, char** argv) {
             << " delta=" << config.wrapper.resend_period
             << " seed=" << config.seed << "\n";
   std::cout << "faults: " << system.faults().total_injected() << " of kind "
-            << kind_name << " at t=" << warmup << "\n\n";
+            << kind_name << " at t=" << warmup;
+  if (config.fault_process.any_enabled()) {
+    std::cout << " + sustained load (" << stats.faults_injected
+              << " total arrivals, " << stats.crashes << " crashes, "
+              << stats.partitions << " partitions)";
+  }
+  std::cout << "\n\n";
 
   Table monitors({"monitor", "violations", "first", "last"});
   for (const auto& m : system.monitors().monitors()) {
@@ -132,6 +172,15 @@ int main(int argc, char** argv) {
   summary.row("messages (wrapper)", stats.wrapper_messages);
   summary.row("max CS wait", stats.me2_max_wait);
   summary.row("events executed", stats.events_executed);
+  if (config.fault_process.any_enabled() || stats.crashes > 0 ||
+      stats.partitions > 0) {
+    summary.row("deliveries to crashed", stats.deliveries_to_crashed);
+    summary.row("dropped by partition", stats.dropped_by_partition);
+    summary.row("mean reconverge (ticks)",
+                stats.reconverge_windows > 0
+                    ? stats.reconverge_ticks_total / stats.reconverge_windows
+                    : 0);
+  }
   std::cout << "\n";
   summary.print(std::cout);
 

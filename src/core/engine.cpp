@@ -61,6 +61,20 @@ std::string config_digest(const HarnessConfig& config) {
   h.mix(config.lamport_options.head_only_release);
   h.mix(config.install_monitors);
   h.mix(config.install_lspec_monitors);
+  h.mix(config.fault_process.drop_mean);
+  h.mix(config.fault_process.duplicate_mean);
+  h.mix(config.fault_process.corrupt_mean);
+  h.mix(config.fault_process.reorder_mean);
+  h.mix(config.fault_process.spurious_mean);
+  h.mix(config.fault_process.process_corrupt_mean);
+  h.mix(config.fault_process.channel_clear_mean);
+  h.mix(config.fault_process.crash_mean);
+  h.mix(config.fault_process.downtime_mean);
+  h.mix(std::uint64_t{config.fault_process.max_down});
+  h.mix(config.fault_process.partition_mean);
+  h.mix(config.fault_process.partition_hold_mean);
+  h.mix(std::uint64_t{config.fault_process.start});
+  h.mix(std::uint64_t{config.fault_process.end});
   // Deliberately excluded: seed (recorded separately as the cell's seed
   // range), trace_capacity, and collect_metrics (observability only — the
   // engine forces collect_metrics on per trial, and neither changes the
@@ -226,6 +240,9 @@ report::Json cell_to_json(const CellResult& cell) {
   j["cs_entries"] = accumulator_to_json(cell.result.cs_entries);
   j["max_wait"] = accumulator_to_json(cell.result.max_wait);
   j["events"] = accumulator_to_json(cell.result.events);
+  j["faults"] = accumulator_to_json(cell.result.faults);
+  j["availability"] = accumulator_to_json(cell.result.availability);
+  j["reconverge"] = accumulator_to_json(cell.result.reconverge);
   if (!cell.result.metrics.empty()) {
     j["metrics"] = cell.result.metrics.to_json();
   }

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+
 #include "core/engine.hpp"
 
 namespace graybox::core {
@@ -47,6 +49,19 @@ void RepeatedResult::add(const ExperimentResult& result) {
   cs_entries.add(static_cast<double>(result.stats.cs_entries));
   max_wait.add(static_cast<double>(result.stats.me2_max_wait));
   events.add(static_cast<double>(result.stats.events_executed));
+  faults.add(static_cast<double>(result.stats.faults_injected));
+  // Clamped at 1: state corruption can fabricate CS entries that no client
+  // requested, and those must not read as surplus availability.
+  availability.add(
+      result.stats.requests_issued > 0
+          ? std::min(1.0, static_cast<double>(result.stats.me2_served) /
+                              static_cast<double>(result.stats.requests_issued))
+          : 1.0);
+  reconverge.add(
+      result.stats.reconverge_windows > 0
+          ? static_cast<double>(result.stats.reconverge_ticks_total) /
+                static_cast<double>(result.stats.reconverge_windows)
+          : 0.0);
   observe_ns_total += static_cast<double>(result.stats.observe_ns);
   if (!result.stats.metrics.empty()) metrics.add(result.stats.metrics);
 }
@@ -64,6 +79,9 @@ void RepeatedResult::merge(const RepeatedResult& other) {
   cs_entries.merge(other.cs_entries);
   max_wait.merge(other.max_wait);
   events.merge(other.events);
+  faults.merge(other.faults);
+  availability.merge(other.availability);
+  reconverge.merge(other.reconverge);
   observe_ns_total += other.observe_ns_total;
   metrics.merge(other.metrics);
 }

@@ -69,6 +69,16 @@ struct RepeatedResult {
   Accumulator cs_entries;
   Accumulator max_wait;          ///< ME2 worst-case waiting time per trial
   Accumulator events;            ///< simulator events executed per trial
+  Accumulator faults;            ///< faults per trial (burst + sustained +
+                                 ///< lifecycle arrivals)
+  /// Fraction of issued CS requests that were served, per trial (1.0 when
+  /// none were issued). Under sustained fault load this is the paper-style
+  /// availability number: how much service survives a continuous adversary.
+  Accumulator availability;
+  /// Per-trial mean time-to-reconverge: over the trial's fault->fault
+  /// windows, the average gap from a fault arrival to the last safety
+  /// violation inside its window (0 for clean windows / fault-free trials).
+  Accumulator reconverge;
   /// Summed observation-hot-path nanoseconds across trials (volatile:
   /// wall-clock derived, stripped from determinism comparisons).
   double observe_ns_total = 0.0;

@@ -1,5 +1,6 @@
 #include "core/harness.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/contracts.hpp"
@@ -38,14 +39,21 @@ SystemHarness::SystemHarness(HarnessConfig config)
                                         master_rng_.split());
   net_->set_event_bus(bus_.get());
 
-  // Processes + delivery plumbing.
+  // Processes + delivery plumbing. A crashed process's deliveries are
+  // swallowed at the handler: the network still did its part (monitors see
+  // the delivery), the process just isn't there to act on it.
+  crashed_.assign(config_.n, 0);
   std::vector<me::TmeProcess*> raw;
   for (ProcessId pid = 0; pid < config_.n; ++pid) {
     processes_.push_back(make_process(pid));
     raw.push_back(processes_.back().get());
     me::TmeProcess* proc = raw.back();
     proc->set_event_bus(bus_.get());
-    net_->set_handler(pid, [proc](const net::Message& msg) {
+    net_->set_handler(pid, [this, proc, pid](const net::Message& msg) {
+      if (crashed_[pid]) {
+        ++deliveries_to_crashed_;
+        return;
+      }
       proc->on_message(msg);
     });
   }
@@ -72,6 +80,24 @@ SystemHarness::SystemHarness(HarnessConfig config)
         processes_[pid]->corrupt_state(rng);
       });
   faults_->set_event_bus(bus_.get());
+  faults_->set_fault_observer(
+      [this](net::FaultKind) { on_fault_arrival(); });
+
+  // Sustained fault load. Its RNG streams are split here, *after* every
+  // stream the seed already feeds (network, clients, injector), so adding
+  // the subsystem does not shift any pre-existing draw sequence; the
+  // recovery stream comes last for the same reason. Lifecycle actions
+  // route back into the harness because processes/clients/wrappers live
+  // above the net layer.
+  net::FaultProcess::Callbacks lifecycle;
+  lifecycle.crash = [this](ProcessId pid) { return crash(pid); };
+  lifecycle.recover = [this](ProcessId pid) { recover(pid); };
+  lifecycle.partition = [this](std::uint64_t mask) { return partition(mask); };
+  lifecycle.heal = [this] { heal_partition(); };
+  fault_load_ = std::make_unique<net::FaultProcess>(
+      sched_, *faults_, config_.n, config_.fault_process, master_rng_.split(),
+      std::move(lifecycle));
+  recovery_rng_ = master_rng_.split();
 
   // Monitoring battery.
   structural_ = std::make_unique<lspec::StructuralSpecMonitor>(raw, sched_);
@@ -107,14 +133,18 @@ SystemHarness::SystemHarness(HarnessConfig config)
   // Monitor violations feed the bus out-of-band (the monitors themselves
   // stay obs-free: the hook is a type-erased callback in the spec layer).
   bus_->set_monitor_names(monitor_set_.monitor_names());
-  if (bus_->enabled()) {
-    monitor_set_.set_violation_hook([this](SimTime, std::size_t index) {
+  // Installed unconditionally: the reconvergence tracker needs the last
+  // violation time even with the bus disabled (violations are rare, the
+  // hook is off the hot path).
+  monitor_set_.set_violation_hook([this](SimTime t, std::size_t index) {
+    last_violation_time_ = t;
+    if (bus_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kMonitorViolation;
       e.monitor = static_cast<std::uint16_t>(index);
       bus_->record(e);
-    });
-  }
+    }
+  });
 
   // The human-readable trace is a lazy view over the bus ring (see
   // trace()); it only needs matching retention.
@@ -133,13 +163,20 @@ SystemHarness::SystemHarness(HarnessConfig config)
     obs::Histogram& in_flight =
         metrics_.histogram("net_in_flight", obs::Histogram::pow2_bounds(12));
     metrics_.counter("wrapper_resends");
-    for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
+    for (std::size_t k = 0; k < net::kFaultCodeCount; ++k) {
       metrics_.counter(std::string("faults.") +
-                       net::to_string(static_cast<net::FaultKind>(k)));
+                       net::fault_code_name(static_cast<std::uint8_t>(k)));
     }
     for (const std::string& name : monitor_set_.monitor_names()) {
       metrics_.counter("violations." + name);
     }
+    // Sustained-load availability instruments (pull; refreshed in stats()).
+    metrics_.counter("fault_rate_per_kilotick");
+    metrics_.counter("availability_ppm");
+    metrics_.counter("deliveries_to_crashed");
+    metrics_.counter("dropped_by_partition");
+    reconverge_hist_ = &metrics_.histogram("reconverge_ticks",
+                                           obs::Histogram::pow2_bounds(20));
 
     net_->add_send_observer(
         [this, &queue_depth, &in_flight](const net::Message& msg) {
@@ -216,6 +253,81 @@ void SystemHarness::start() {
   started_ = true;
   for (auto& client : clients_) client->start();
   for (auto& w : wrappers_) w->start();
+  fault_load_->start();
+}
+
+bool SystemHarness::crash(ProcessId pid) {
+  GBX_EXPECTS(pid < config_.n);
+  if (crashed_[pid]) return false;
+  crashed_[pid] = 1;
+  // A crashed process takes no steps: its client stops polling and its
+  // wrapper stops resending. In-flight messages to it still arrive (and
+  // are swallowed at the delivery handler).
+  clients_[pid]->stop();
+  if (config_.wrapped) wrappers_[pid]->stop();
+  note_lifecycle(net::kFaultCodeProcessCrash, pid);
+  return true;
+}
+
+bool SystemHarness::recover(ProcessId pid) {
+  GBX_EXPECTS(pid < config_.n);
+  if (!crashed_[pid]) return false;
+  crashed_[pid] = 0;
+  // §3.1: a recovering process is "improperly initialized" — it comes back
+  // with arbitrary state, not a clean slate. The wrapper is what must make
+  // the system converge afterwards.
+  processes_[pid]->corrupt_state(recovery_rng_);
+  clients_[pid]->start();
+  if (config_.wrapped) wrappers_[pid]->start();
+  note_lifecycle(net::kFaultCodeProcessRecover, pid);
+  return true;
+}
+
+bool SystemHarness::partition(std::uint64_t mask) {
+  GBX_EXPECTS(config_.n <= 64);
+  const std::uint64_t all = config_.n >= 64
+                                ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << config_.n) - 1;
+  GBX_EXPECTS((mask & all) != 0 && (mask & all) != all);
+  if (net_->partition_mask() != 0) return false;
+  net_->set_partition(mask & all);
+  note_lifecycle(net::kFaultCodePartition, kNoProcess);
+  return true;
+}
+
+bool SystemHarness::heal_partition() {
+  if (net_->partition_mask() == 0) return false;
+  net_->set_partition(0);
+  note_lifecycle(net::kFaultCodePartitionHeal, kNoProcess);
+  return true;
+}
+
+void SystemHarness::note_lifecycle(std::uint8_t code, ProcessId pid) {
+  lifecycle_stats_[code - net::kFaultKindCount].note(sched_.now());
+  if (bus_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kFaultInjected;
+    e.a = code;
+    e.pid = pid;
+    bus_->record(e);
+  }
+  on_fault_arrival();
+}
+
+void SystemHarness::on_fault_arrival() {
+  const SimTime now = sched_.now();
+  if (prev_fault_time_ != kNever) {
+    // Close the previous fault's window at the last safety violation it
+    // produced (0 when the system absorbed the fault violation-free).
+    const SimTime gap = (last_violation_time_ != kNever &&
+                         last_violation_time_ >= prev_fault_time_)
+                            ? last_violation_time_ - prev_fault_time_
+                            : 0;
+    ++reconverge_windows_;
+    reconverge_ticks_ += gap;
+    if (reconverge_hist_ != nullptr) reconverge_hist_->observe(gap);
+  }
+  prev_fault_time_ = now;
 }
 
 void SystemHarness::drain(SimTime period) {
@@ -237,6 +349,13 @@ StabilizationReport SystemHarness::stabilization_report() const {
   GBX_EXPECTS(config_.install_monitors);
   StabilizationReport report;
   report.last_fault = faults_->last_fault_time();
+  // Lifecycle faults (crash/recovery, partition/heal) count: latency is
+  // measured from the last perturbation of any kind.
+  for (const obs::KindStats& s : lifecycle_stats_) {
+    if (s.count == 0) continue;
+    if (report.last_fault == kNever || s.last > report.last_fault)
+      report.last_fault = s.last;
+  }
   report.faults_injected = report.last_fault != kNever;
 
   // Safety monitors: ME1, ME3, Invariant I. (ME2's records are liveness
@@ -275,12 +394,25 @@ obs::StabilizationTimeline SystemHarness::timeline() const {
   tl.faults_injected = faults_->total_injected();
   tl.first_fault = faults_->first_fault_time();
   tl.last_fault = faults_->last_fault_time();
-  for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
+  // Lifecycle faults share the bus's fault-code space (codes after the
+  // injector's kinds), so fold them in the same order timeline_from_bus
+  // reads its aggregates: injector kinds first, lifecycle codes after.
+  for (const obs::KindStats& s : lifecycle_stats_) {
+    if (s.count == 0) continue;
+    tl.faults_injected += s.count;
+    if (tl.first_fault == kNever || s.first < tl.first_fault)
+      tl.first_fault = s.first;
+    if (tl.last_fault == kNever || s.last > tl.last_fault)
+      tl.last_fault = s.last;
+  }
+  for (std::size_t k = 0; k < net::kFaultCodeCount; ++k) {
     const obs::KindStats& s =
-        faults_->kind_stats(static_cast<net::FaultKind>(k));
+        k < net::kFaultKindCount
+            ? faults_->kind_stats(static_cast<net::FaultKind>(k))
+            : lifecycle_stats_[k - net::kFaultKindCount];
     if (s.count == 0) continue;
     obs::TimelineEntry e;
-    e.name = net::to_string(static_cast<net::FaultKind>(k));
+    e.name = net::fault_code_name(static_cast<std::uint8_t>(k));
     e.count = s.count;
     e.first = s.first;
     e.last = s.last;
@@ -337,6 +469,26 @@ RunStats SystemHarness::stats() const {
   }
   stats.lspec_clause_violations = lspec_handles_.total_violations();
   stats.observe_ns = observe_ns_;
+  stats.crashes = lifecycle_stats_[0].count;
+  stats.recoveries = lifecycle_stats_[1].count;
+  stats.partitions = lifecycle_stats_[2].count;
+  stats.partition_heals = lifecycle_stats_[3].count;
+  stats.deliveries_to_crashed = deliveries_to_crashed_;
+  stats.dropped_by_partition = net_->dropped_by_partition();
+  stats.faults_injected += stats.crashes + stats.recoveries +
+                           stats.partitions + stats.partition_heals;
+  // Fold the tail window (last fault to run end) into the reconvergence
+  // numbers without disturbing the live tracker: stats() may be called
+  // mid-run and again later.
+  stats.reconverge_windows = reconverge_windows_;
+  stats.reconverge_ticks_total = reconverge_ticks_;
+  if (prev_fault_time_ != kNever) {
+    ++stats.reconverge_windows;
+    if (last_violation_time_ != kNever &&
+        last_violation_time_ >= prev_fault_time_) {
+      stats.reconverge_ticks_total += last_violation_time_ - prev_fault_time_;
+    }
+  }
 
   if (config_.collect_metrics) {
     // Refresh the pull counters (registered in the constructor, so the
@@ -344,15 +496,35 @@ RunStats SystemHarness::stats() const {
     std::uint64_t resends = 0;
     for (const auto& w : wrappers_) resends += w->resends();
     metrics_.counter("wrapper_resends").set(resends);
-    for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
-      const auto kind = static_cast<net::FaultKind>(k);
-      metrics_.counter(std::string("faults.") + net::to_string(kind))
-          .set(faults_->count(kind));
+    for (std::size_t k = 0; k < net::kFaultCodeCount; ++k) {
+      const std::uint64_t count =
+          k < net::kFaultKindCount
+              ? faults_->count(static_cast<net::FaultKind>(k))
+              : lifecycle_stats_[k - net::kFaultKindCount].count;
+      metrics_
+          .counter(std::string("faults.") +
+                   net::fault_code_name(static_cast<std::uint8_t>(k)))
+          .set(count);
     }
     for (const auto& [name, total] :
          monitor_set_.violations_total_by_monitor()) {
       metrics_.counter("violations." + name).set(total);
     }
+    // Availability under load: observed fault pressure and the fraction of
+    // issued CS requests actually served (ppm; 10^6 when nothing issued).
+    // Capped at 10^6: state corruption can fabricate CS entries no client
+    // requested, and those must not read as surplus availability.
+    metrics_.counter("fault_rate_per_kilotick")
+        .set(stats.duration > 0 ? stats.faults_injected * 1000 / stats.duration
+                                : 0);
+    const std::uint64_t served = tm.me2 != nullptr ? tm.me2->served() : 0;
+    metrics_.counter("availability_ppm")
+        .set(stats.requests_issued > 0
+                 ? std::min<std::uint64_t>(
+                       1000000, served * 1000000 / stats.requests_issued)
+                 : 1000000);
+    metrics_.counter("deliveries_to_crashed").set(deliveries_to_crashed_);
+    metrics_.counter("dropped_by_partition").set(net_->dropped_by_partition());
     stats.metrics = metrics_.snapshot();
   }
   return stats;

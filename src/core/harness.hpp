@@ -32,6 +32,7 @@
 #include "me/lamport.hpp"
 #include "me/ricart_agrawala.hpp"
 #include "net/fault_injector.hpp"
+#include "net/fault_process.hpp"
 #include "net/network.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
@@ -97,6 +98,12 @@ struct HarnessConfig {
   /// it never perturbs the run; excluded from config_digest for exactly
   /// that reason (the experiment engine forces it on per trial).
   bool collect_metrics = false;
+
+  /// Sustained fault load: continuous per-kind fault streams plus
+  /// crash/recovery and partition/heal lifecycles (net::FaultProcess),
+  /// armed by start() when any stream rate is nonzero. The default
+  /// (all-zero rates) leaves the subsystem idle and draws nothing.
+  net::FaultProcessConfig fault_process{};
 };
 
 struct RunStats {
@@ -116,6 +123,24 @@ struct RunStats {
   std::uint64_t lspec_clause_violations = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t events_executed = 0;
+  // Lifecycle faults (crash/recovery, partition/heal) driven through the
+  // harness — by the sustained fault load or manually.
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t partition_heals = 0;
+  /// Deliveries swallowed because the destination process was crashed.
+  std::uint64_t deliveries_to_crashed = 0;
+  /// Sends lost at a partition cut.
+  std::uint64_t dropped_by_partition = 0;
+  /// Completed fault→fault windows (every fault arrival closes the window
+  /// opened by the previous one; the tail window to run end included).
+  std::uint64_t reconverge_windows = 0;
+  /// Summed time-to-reconverge over those windows: per window, the gap
+  /// from the fault to the last safety violation inside the window (0 for
+  /// a violation-free window). reconverge_ticks_total / reconverge_windows
+  /// is the mean time the system stayed divergent per fault arrival.
+  std::uint64_t reconverge_ticks_total = 0;
   /// Wall nanoseconds spent in the observation hot path (snapshot capture
   /// + monitor stepping), summed over all events. Volatile: excluded from
   /// determinism comparisons.
@@ -141,6 +166,30 @@ class SystemHarness {
   sim::Scheduler& scheduler() { return sched_; }
   net::Network& network() { return *net_; }
   net::FaultInjector& faults() { return *faults_; }
+  /// The sustained fault-load driver. Always constructed; idle unless
+  /// config.fault_process enables a stream (started with start()).
+  net::FaultProcess& fault_load() { return *fault_load_; }
+
+  // --- Process crash/recovery and partitions (fault model §3.1:
+  // processes "fail, recover"; links go down). Driven by the sustained
+  // fault load or called directly. ----------------------------------------
+
+  /// Take process `pid` down: deliveries to it are swallowed, its client
+  /// and wrapper stop. Returns false (no fault recorded) if already down.
+  bool crash(ProcessId pid);
+  /// Bring a crashed process back. It re-enters an *improperly
+  /// initialized* state (its state is re-corrupted, not reset), and its
+  /// client/wrapper resume. Returns false if not crashed.
+  bool recover(ProcessId pid);
+  bool crashed(ProcessId pid) const { return crashed_[pid] != 0; }
+
+  /// Install a bipartition (bit p of `mask` = p's side; cross-side sends
+  /// are lost). One partition at a time: returns false while one is
+  /// active. `mask` must cut both ways (not 0, not all-ones).
+  bool partition(std::uint64_t mask);
+  /// Reconnect everyone. Returns false if no partition was active.
+  bool heal_partition();
+  bool partitioned() const { return net_->partition_mask() != 0; }
 
   me::TmeProcess& process(ProcessId pid);
   me::Client& client(ProcessId pid);
@@ -197,6 +246,11 @@ class SystemHarness {
 
  private:
   std::unique_ptr<me::TmeProcess> make_process(ProcessId pid);
+  /// Record a lifecycle fault (bus event + aggregate) and open a new
+  /// reconvergence window.
+  void note_lifecycle(std::uint8_t code, ProcessId pid);
+  /// Close the current reconvergence window (a new fault arrived).
+  void on_fault_arrival();
 
   HarnessConfig config_;
   Rng master_rng_;
@@ -206,6 +260,23 @@ class SystemHarness {
   std::vector<std::unique_ptr<me::Client>> clients_;
   std::vector<std::unique_ptr<wrapper::GrayboxWrapper>> wrappers_;
   std::unique_ptr<net::FaultInjector> faults_;
+  std::unique_ptr<net::FaultProcess> fault_load_;
+  /// RNG stream feeding the "improperly initialized" state a recovering
+  /// process restarts with.
+  Rng recovery_rng_;
+  std::vector<char> crashed_;
+  std::uint64_t deliveries_to_crashed_ = 0;
+  /// count/first/last per lifecycle fault code (crash, recover, partition,
+  /// heal — codes 7..10); mirrors what the bus aggregates so timeline()
+  /// agrees with timeline_from_bus() with the bus disabled.
+  std::array<obs::KindStats, 4> lifecycle_stats_{};
+  // Reconvergence tracking: every fault arrival closes the window opened
+  // by the previous one at the last safety violation seen inside it.
+  SimTime prev_fault_time_ = kNever;
+  SimTime last_violation_time_ = kNever;
+  std::uint64_t reconverge_windows_ = 0;
+  std::uint64_t reconverge_ticks_ = 0;
+  obs::Histogram* reconverge_hist_ = nullptr;
   std::unique_ptr<lspec::SnapshotSource> snapshots_;
   lspec::TmeMonitorSet monitor_set_;
   lspec::TmeMonitors tme_handles_;

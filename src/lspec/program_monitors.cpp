@@ -67,7 +67,9 @@ FifoMonitor::FifoMonitor(net::Network& net, sim::Scheduler& sched)
 }
 
 void FifoMonitor::on_delivery(const net::Message& msg) {
-  if (msg.uid == 0) return;  // fabricated by fault injection
+  // Fabricated messages (uid 0 legacy, reserved range from fault_inject)
+  // never passed Network::send; there is no FIFO position to correlate.
+  if (msg.uid == 0 || net::is_spurious_uid(msg.uid)) return;
   if (msg.from >= n_ || msg.to >= n_) return;
   ++deliveries_checked_;
   const std::size_t pair = static_cast<std::size_t>(msg.from) * n_ + msg.to;

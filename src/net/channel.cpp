@@ -23,11 +23,12 @@ void Channel::enqueue(const Message& msg) {
 }
 
 void Channel::schedule_tick(SimTime arrival) {
-  sched_.schedule_at(arrival, [this] { on_tick(); });
+  sched_.schedule_at(arrival, [this, epoch = epoch_] { on_tick(epoch); });
 }
 
-void Channel::on_tick() {
-  if (queue_.empty()) return;  // message was dropped/cleared by a fault
+void Channel::on_tick(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // scheduled before a fault_clear: stale
+  if (queue_.empty()) return;  // message was dropped by a fault
   Message msg = std::move(queue_.front());
   queue_.pop_front();
   adjust_in_flight(-1);
@@ -48,8 +49,10 @@ void Channel::fault_duplicate(std::size_t index) {
   queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(index) + 1, copy);
   adjust_in_flight(+1);
   // The duplicate needs its own delivery tick; deliver it no earlier than
-  // the queue tail's nominal arrival to keep tick counts consistent.
-  schedule_tick(std::max(sched_.now(), last_arrival_));
+  // the queue tail's nominal arrival to keep tick counts consistent, and
+  // fold that time back into the floor so later enqueues stay monotone.
+  last_arrival_ = std::max(sched_.now(), last_arrival_);
+  schedule_tick(last_arrival_);
 }
 
 void Channel::fault_corrupt(std::size_t index, const Message& corrupted) {
@@ -70,14 +73,28 @@ void Channel::fault_swap(std::size_t a, std::size_t b) {
 
 void Channel::fault_inject(const Message& msg) {
   queue_.push_back(msg);
+  // Fabricated messages never passed Network::send, so they have no uid;
+  // stamp one from the reserved spurious range so distinct injections do
+  // not alias each other in monitor correlation.
+  if (queue_.back().uid == 0) {
+    std::uint64_t& next = spurious_uid_counter_ != nullptr
+                              ? *spurious_uid_counter_
+                              : local_spurious_uid_;
+    queue_.back().uid = next++;
+  }
   adjust_in_flight(+1);
-  schedule_tick(std::max(sched_.now(), last_arrival_));
+  last_arrival_ = std::max(sched_.now(), last_arrival_);
+  schedule_tick(last_arrival_);
 }
 
 void Channel::fault_clear() {
   dropped_by_fault_ += queue_.size();
   adjust_in_flight(-static_cast<std::ptrdiff_t>(queue_.size()));
   queue_.clear();
+  // An improperly initialized channel forgets everything: the delay floor
+  // inherited from the cleared backlog and the ticks it had scheduled.
+  last_arrival_ = sched_.now();
+  ++epoch_;
 }
 
 }  // namespace graybox::net

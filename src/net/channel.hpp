@@ -7,8 +7,22 @@
 // queue (max of sampled delay and the previous tail arrival), so fault-free
 // delivery is exactly FIFO. Each enqueue schedules one "delivery tick"; a
 // tick delivers the current queue head, whatever faults did to the queue in
-// between. Ticks on an empty queue are no-ops, which is how dropped or
-// cleared messages silently consume their tick.
+// between. Ticks on an empty queue are no-ops, which is how dropped
+// messages silently consume their tick.
+//
+// Timing invariants of the fault surface (fixed; previously the first two
+// were silently violated):
+//   - Every scheduled tick time is folded into `last_arrival_`, including
+//     the ticks added by fault_duplicate and fault_inject, so arrival times
+//     stay monotone along the queue even across faults: a normal enqueue
+//     issued after a fault can tie with, but never precede, the fault's
+//     tick, and is therefore never delivered out of delay order by it.
+//   - fault_clear ("improperly initialized channel") forgets *everything*:
+//     the queued messages, the delay floor (`last_arrival_` resets to now),
+//     and the pending delivery ticks — the tick epoch is bumped, so ticks
+//     scheduled before the clear become no-ops instead of delivering
+//     post-clear messages early. A cleared channel behaves exactly like a
+//     freshly constructed one.
 #pragma once
 
 #include <deque>
@@ -56,9 +70,13 @@ class Channel {
   void fault_swap(std::size_t a, std::size_t b);
 
   /// Insert a fabricated message (it never passed through Network::send).
+  /// If `msg.uid == 0` the channel stamps a fresh uid from the reserved
+  /// spurious range (>= kSpuriousUidBase) so fabricated messages never
+  /// alias each other in the monitors' send/delivery correlation.
   void fault_inject(const Message& msg);
 
-  /// Drop everything in flight ("improperly initialized channel").
+  /// Drop everything in flight ("improperly initialized channel") and
+  /// forget the delay floor and pending ticks; see header comment.
   void fault_clear();
 
   // --- Accounting -------------------------------------------------------
@@ -66,6 +84,10 @@ class Channel {
   std::uint64_t enqueued() const { return enqueued_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped_by_fault() const { return dropped_by_fault_; }
+
+  /// Arrival time of the queue tail — the monotone floor every future
+  /// delivery tick respects (tests assert the invariant directly).
+  SimTime last_arrival() const { return last_arrival_; }
 
   /// Network-owned aggregate in-flight counter; the channel mirrors every
   /// queue-size change into it so Network::in_flight() is O(1) instead of
@@ -75,9 +97,16 @@ class Channel {
     if (in_flight_counter_ != nullptr) *in_flight_counter_ += queue_.size();
   }
 
+  /// Network-owned counter for the reserved spurious-uid range, shared by
+  /// all channels of one network so stamps are globally unique. Standalone
+  /// channels fall back to a private counter.
+  void set_spurious_uid_counter(std::uint64_t* counter) {
+    spurious_uid_counter_ = counter;
+  }
+
  private:
   void schedule_tick(SimTime arrival);
-  void on_tick();
+  void on_tick(std::uint64_t epoch);
   void adjust_in_flight(std::ptrdiff_t delta) {
     if (in_flight_counter_ != nullptr)
       *in_flight_counter_ = static_cast<std::size_t>(
@@ -89,13 +118,19 @@ class Channel {
   Rng rng_;
   DeliverFn deliver_;
   std::deque<Message> queue_;
-  /// Arrival time of the most recently enqueued message; enforces FIFO
-  /// monotonicity of scheduled ticks.
+  /// Arrival time of the most recently scheduled delivery tick (normal or
+  /// fault-made); enforces FIFO monotonicity of scheduled ticks.
   SimTime last_arrival_ = 0;
+  /// Bumped by fault_clear; ticks scheduled under an older epoch are stale
+  /// and deliver nothing.
+  std::uint64_t epoch_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_by_fault_ = 0;
   std::size_t* in_flight_counter_ = nullptr;
+  std::uint64_t* spurious_uid_counter_ = nullptr;
+  /// Fallback spurious-uid source for channels outside a Network.
+  std::uint64_t local_spurious_uid_ = kSpuriousUidBase;
 };
 
 }  // namespace graybox::net

@@ -24,11 +24,27 @@ const char* to_string(FaultKind kind) {
   return "unknown-fault";
 }
 
+const char* fault_code_name(std::uint8_t code) {
+  switch (code) {
+    case kFaultCodeProcessCrash:
+      return "process-crash";
+    case kFaultCodeProcessRecover:
+      return "process-recover";
+    case kFaultCodePartition:
+      return "partition";
+    case kFaultCodePartitionHeal:
+      return "partition-heal";
+    default:
+      if (code < kFaultKindCount) return to_string(static_cast<FaultKind>(code));
+      return "unknown-fault";
+  }
+}
+
 std::vector<std::string> fault_kind_names() {
   std::vector<std::string> names;
-  names.reserve(kFaultKindCount);
-  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
-    names.emplace_back(to_string(static_cast<FaultKind>(i)));
+  names.reserve(kFaultCodeCount);
+  for (std::size_t i = 0; i < kFaultCodeCount; ++i) {
+    names.emplace_back(fault_code_name(static_cast<std::uint8_t>(i)));
   }
   return names;
 }
@@ -185,6 +201,7 @@ void FaultInjector::note(FaultKind kind, ProcessId pid,
       bus_->record(d);
     }
   }
+  if (on_fault_) on_fault_(kind);
 }
 
 bool FaultInjector::inject(FaultKind kind) {

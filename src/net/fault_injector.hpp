@@ -36,8 +36,23 @@ inline constexpr std::size_t kFaultKindCount = 7;
 
 const char* to_string(FaultKind kind);
 
-/// All fault kind names in FaultKind code order — the name table the
-/// observability bus indexes kFaultInjected events with.
+/// Lifecycle faults of the sustained-load subsystem (the paper's §3.1
+/// "processes ... fail, recover" plus network partitions). They are not
+/// FaultKind values — the one-shot injector cannot apply them; the harness
+/// drives them — but they share the observability bus's fault-code space,
+/// appended after the injector's kinds so kFaultInjected events cover both.
+inline constexpr std::uint8_t kFaultCodeProcessCrash = 7;
+inline constexpr std::uint8_t kFaultCodeProcessRecover = 8;
+inline constexpr std::uint8_t kFaultCodePartition = 9;
+inline constexpr std::uint8_t kFaultCodePartitionHeal = 10;
+/// Total fault codes: FaultKind values plus the lifecycle codes above.
+inline constexpr std::size_t kFaultCodeCount = 11;
+
+/// Name of any fault code (FaultKind values and lifecycle codes).
+const char* fault_code_name(std::uint8_t code);
+
+/// All fault code names in code order — the name table the observability
+/// bus indexes kFaultInjected events with (kFaultCodeCount entries).
 std::vector<std::string> fault_kind_names();
 
 /// Which fault kinds an adversary may use.
@@ -110,6 +125,12 @@ class FaultInjector {
   /// kFaultInjected event (plus kDrop for destroyed messages).
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
+  /// Harness hook fired after every successfully injected fault (the
+  /// reconvergence tracker keys its windows off fault arrivals).
+  void set_fault_observer(std::function<void(FaultKind)> fn) {
+    on_fault_ = std::move(fn);
+  }
+
  private:
   struct Target {
     Channel* channel;
@@ -135,6 +156,7 @@ class FaultInjector {
   SimTime first_fault_time_ = kNever;
   SimTime last_fault_time_ = kNever;
   obs::EventBus* bus_ = nullptr;
+  std::function<void(FaultKind)> on_fault_;
 };
 
 }  // namespace graybox::net

@@ -28,6 +28,19 @@ enum class MsgType : std::uint8_t { kRequest = 0, kReply = 1, kRelease = 2 };
 
 const char* to_string(MsgType t);
 
+/// Uids at or above this value are monitor-side stamps for fabricated
+/// (fault-injected) messages; Channel::fault_inject assigns them so that
+/// distinct spurious messages never alias each other (or uid 0) in the
+/// monitors' send/delivery correlation. Network::send uids count up from 1
+/// and can never reach this range.
+inline constexpr std::uint64_t kSpuriousUidBase = std::uint64_t{1} << 63;
+
+/// True for uids stamped onto fabricated messages. Monitors that correlate
+/// deliveries against real sends (e.g. FIFO order) must skip these.
+constexpr bool is_spurious_uid(std::uint64_t uid) {
+  return uid >= kSpuriousUidBase;
+}
+
 struct Message {
   MsgType type = MsgType::kRequest;
   ProcessId from = 0;

@@ -56,8 +56,11 @@ Network::Network(sim::Scheduler& sched, std::size_t n, DelayModel delay,
   vclocks_.reserve(n);
   for (ProcessId pid = 0; pid < n; ++pid) vclocks_.emplace_back(pid, n);
   vclock_versions_.assign(n, 0);
-  for (auto& ch : channels_)
-    if (ch) ch->set_in_flight_counter(&in_flight_);
+  for (auto& ch : channels_) {
+    if (!ch) continue;
+    ch->set_in_flight_counter(&in_flight_);
+    ch->set_spurious_uid_counter(&next_spurious_uid_);
+  }
 }
 
 std::size_t Network::channel_index(ProcessId from, ProcessId to) const {
@@ -91,7 +94,27 @@ void Network::send(ProcessId from, ProcessId to, MsgType type,
   if (bus_) bus_->record(message_event(obs::EventKind::kSend, msg));
   for (const auto& obs : send_observers_) obs(msg);
 
+  // A partition severs the link: the send event happened (observers above
+  // saw it, the sender's clock ticked) but the message is lost on the wire.
+  if (partitioned(from, to)) {
+    ++dropped_by_partition_;
+    if (bus_) {
+      obs::Event d;
+      d.kind = obs::EventKind::kDrop;
+      d.pid = from;
+      d.peer = to;
+      d.payload = 1;
+      bus_->record(d);
+    }
+    return;
+  }
+
   channel(from, to).enqueue(msg);
+}
+
+void Network::set_partition(std::uint64_t mask) {
+  GBX_EXPECTS(mask == 0 || n_ <= 64);
+  partition_mask_ = mask;
 }
 
 void Network::local_event(ProcessId pid) {

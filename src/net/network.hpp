@@ -65,6 +65,23 @@ class Network {
   Channel& channel(ProcessId from, ProcessId to);
   const Channel& channel(ProcessId from, ProcessId to) const;
 
+  // --- Partitions -------------------------------------------------------
+
+  /// Install a bipartition of the processes: bit `p` of `mask` selects
+  /// process p's side, and sends crossing sides are lost at send time (the
+  /// link is down; the sender still performed its send event). Messages
+  /// already in flight when the partition forms are NOT affected — they
+  /// were on the wire before the cut. Mask 0 (the default) means fully
+  /// connected; requires n <= 64 for a nonzero mask.
+  void set_partition(std::uint64_t mask);
+  std::uint64_t partition_mask() const { return partition_mask_; }
+  /// True when `a` and `b` are currently on opposite partition sides.
+  bool partitioned(ProcessId a, ProcessId b) const {
+    return (((partition_mask_ >> a) ^ (partition_mask_ >> b)) & 1u) != 0;
+  }
+  /// Messages lost to a partition at send time (accounted like drops).
+  std::uint64_t dropped_by_partition() const { return dropped_by_partition_; }
+
   /// Total messages currently in flight across all channels. O(1): the
   /// channels mirror every queue-size change into a shared counter.
   std::size_t in_flight() const { return in_flight_; }
@@ -108,6 +125,10 @@ class Network {
   SimTime last_send_time_ = kNever;
   SimTime last_delivery_time_ = kNever;
   std::uint64_t next_uid_ = 1;
+  /// Shared by all channels; see Channel::set_spurious_uid_counter.
+  std::uint64_t next_spurious_uid_ = kSpuriousUidBase;
+  std::uint64_t partition_mask_ = 0;
+  std::uint64_t dropped_by_partition_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t sent_by_wrapper_ = 0;

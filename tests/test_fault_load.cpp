@@ -1,0 +1,294 @@
+// The sustained fault-load subsystem: FaultProcess stream determinism,
+// crash/recovery and partition/heal lifecycles through the harness, their
+// observability (timeline parity, metrics), and the engine-level guarantee
+// that fault-load experiments stay byte-identical across --jobs values.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/report.hpp"
+#include "core/engine.hpp"
+#include "core/harness.hpp"
+#include "core/stabilization.hpp"
+#include "net/fault_process.hpp"
+#include "obs/timeline.hpp"
+
+namespace graybox::core {
+namespace {
+
+HarnessConfig load_config(std::uint64_t seed) {
+  HarnessConfig config;
+  config.n = 4;
+  config.seed = seed;
+  config.wrapper.resend_period = 20;
+  return config;
+}
+
+net::FaultProcessConfig modest_load() {
+  net::FaultProcessConfig fp;
+  fp.drop_mean = 150;
+  fp.duplicate_mean = 300;
+  fp.corrupt_mean = 300;
+  fp.spurious_mean = 250;
+  fp.process_corrupt_mean = 400;
+  fp.crash_mean = 1200;
+  fp.downtime_mean = 150;
+  fp.partition_mean = 1500;
+  fp.partition_hold_mean = 120;
+  return fp;
+}
+
+// --- FaultProcess determinism ----------------------------------------------
+
+TEST(FaultProcess, SameSeedSameSchedule) {
+  // The applied fault schedule is a pure function of the seed: two
+  // identical systems produce entry-for-entry identical schedules.
+  std::vector<net::FaultArrival> schedules[2];
+  for (int run = 0; run < 2; ++run) {
+    HarnessConfig config = load_config(42);
+    config.fault_process = modest_load();
+    SystemHarness h(config);
+    h.fault_load().record_schedule(true);
+    h.start();
+    h.run_for(6000);
+    schedules[run] = h.fault_load().schedule();
+  }
+  ASSERT_FALSE(schedules[0].empty());
+  ASSERT_EQ(schedules[0].size(), schedules[1].size());
+  for (std::size_t i = 0; i < schedules[0].size(); ++i) {
+    EXPECT_EQ(schedules[0][i].time, schedules[1][i].time) << i;
+    EXPECT_EQ(schedules[0][i].code, schedules[1][i].code) << i;
+    EXPECT_EQ(schedules[0][i].pid, schedules[1][i].pid) << i;
+  }
+}
+
+TEST(FaultProcess, DifferentSeedsDifferentSchedules) {
+  std::vector<net::FaultArrival> schedules[2];
+  const std::uint64_t seeds[2] = {42, 43};
+  for (int run = 0; run < 2; ++run) {
+    HarnessConfig config = load_config(seeds[run]);
+    config.fault_process = modest_load();
+    SystemHarness h(config);
+    h.fault_load().record_schedule(true);
+    h.start();
+    h.run_for(6000);
+    schedules[run] = h.fault_load().schedule();
+  }
+  ASSERT_FALSE(schedules[0].empty());
+  bool differ = schedules[0].size() != schedules[1].size();
+  for (std::size_t i = 0; !differ && i < schedules[0].size(); ++i) {
+    differ = schedules[0][i].time != schedules[1][i].time ||
+             schedules[0][i].code != schedules[1][i].code;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultProcess, DisabledByDefaultDrawsNothing) {
+  // All-zero rates: the subsystem arms nothing and perturbs nothing —
+  // a run with the default config matches a run from before it existed.
+  HarnessConfig config = load_config(7);
+  SystemHarness h(config);
+  h.start();
+  h.run_for(3000);
+  EXPECT_FALSE(h.fault_load().running());
+  EXPECT_EQ(h.fault_load().arrivals_fired(), 0u);
+  EXPECT_EQ(h.stats().faults_injected, 0u);
+}
+
+TEST(FaultProcess, StreamsStopAtEnd) {
+  HarnessConfig config = load_config(9);
+  config.fault_process.drop_mean = 50;
+  config.fault_process.spurious_mean = 60;
+  config.fault_process.end = 1000;
+  SystemHarness h(config);
+  h.fault_load().record_schedule(true);
+  h.start();
+  h.run_for(5000);
+  ASSERT_FALSE(h.fault_load().schedule().empty());
+  for (const net::FaultArrival& a : h.fault_load().schedule())
+    EXPECT_LT(a.time, 1000u);
+}
+
+// --- Crash / recovery -------------------------------------------------------
+
+TEST(HarnessLifecycle, CrashSwallowsDeliveriesUntilRecovery) {
+  HarnessConfig config = load_config(11);
+  SystemHarness h(config);
+  h.start();
+  h.run_for(500);
+  ASSERT_TRUE(h.crash(1));
+  EXPECT_TRUE(h.crashed(1));
+  EXPECT_FALSE(h.crash(1));  // already down: not a second fault
+  const std::uint64_t entries_at_crash = h.process(1).cs_entries();
+  h.run_for(1500);
+  // The dead process took no steps; traffic to it was swallowed.
+  EXPECT_EQ(h.process(1).cs_entries(), entries_at_crash);
+  const RunStats mid = h.stats();
+  EXPECT_EQ(mid.crashes, 1u);
+  EXPECT_EQ(mid.recoveries, 0u);
+  EXPECT_GT(mid.deliveries_to_crashed, 0u);
+
+  ASSERT_TRUE(h.recover(1));
+  EXPECT_FALSE(h.crashed(1));
+  EXPECT_FALSE(h.recover(1));
+  h.run_for(4000);
+  h.drain(3000);
+  const RunStats end = h.stats();
+  EXPECT_EQ(end.recoveries, 1u);
+  // Crash/recovery are faults; stabilization is judged from the last one.
+  const StabilizationReport report = h.stabilization_report();
+  EXPECT_TRUE(report.faults_injected);
+  // The wrapped system must come back: the recovered process re-entered
+  // an improperly initialized state and still made progress afterwards.
+  EXPECT_TRUE(report.stabilized);
+  EXPECT_GT(h.process(1).cs_entries(), entries_at_crash);
+}
+
+TEST(HarnessLifecycle, PartitionBlocksCrossTrafficUntilHealed) {
+  HarnessConfig config = load_config(13);
+  SystemHarness h(config);
+  h.start();
+  h.run_for(500);
+  ASSERT_TRUE(h.partition(0b0001));  // isolate process 0
+  EXPECT_TRUE(h.partitioned());
+  EXPECT_FALSE(h.partition(0b0011));  // one partition at a time
+  h.run_for(1000);
+  const RunStats mid = h.stats();
+  EXPECT_EQ(mid.partitions, 1u);
+  EXPECT_GT(mid.dropped_by_partition, 0u);
+  ASSERT_TRUE(h.heal_partition());
+  EXPECT_FALSE(h.partitioned());
+  EXPECT_FALSE(h.heal_partition());
+  h.run_for(4000);
+  h.drain(3000);
+  const RunStats end = h.stats();
+  EXPECT_EQ(end.partition_heals, 1u);
+  EXPECT_TRUE(h.stabilization_report().stabilized);
+}
+
+// --- Observability ----------------------------------------------------------
+
+TEST(HarnessLifecycle, TimelineParityWithBusUnderLifecycleFaults) {
+  // Lifecycle faults flow through the same fault-code space as injector
+  // faults; the live timeline and the bus derivation must agree on every
+  // shared field, including the lifecycle entries.
+  HarnessConfig config = load_config(17);
+  config.trace_capacity = 1u << 20;
+  SystemHarness h(config);
+  h.start();
+  h.run_for(400);
+  h.faults().burst(4, net::FaultMix::all());
+  h.crash(2);
+  h.run_for(300);
+  h.recover(2);
+  h.partition(0b0110);
+  h.run_for(300);
+  h.heal_partition();
+  h.run_for(2000);
+  h.drain(2000);
+
+  const obs::StabilizationTimeline live = h.timeline();
+  const obs::StabilizationTimeline from_bus =
+      obs::timeline_from_bus(h.events());
+  EXPECT_EQ(from_bus.faults_injected, live.faults_injected);
+  EXPECT_EQ(from_bus.first_fault, live.first_fault);
+  EXPECT_EQ(from_bus.last_fault, live.last_fault);
+  ASSERT_EQ(from_bus.faults.size(), live.faults.size());
+  for (std::size_t i = 0; i < live.faults.size(); ++i) {
+    EXPECT_EQ(from_bus.faults[i].name, live.faults[i].name) << i;
+    EXPECT_EQ(from_bus.faults[i].count, live.faults[i].count) << i;
+    EXPECT_EQ(from_bus.faults[i].first, live.faults[i].first) << i;
+    EXPECT_EQ(from_bus.faults[i].last, live.faults[i].last) << i;
+  }
+  bool saw_crash = false, saw_heal = false;
+  for (const obs::TimelineEntry& f : live.faults) {
+    saw_crash = saw_crash || f.name == "process-crash";
+    saw_heal = saw_heal || f.name == "partition-heal";
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_heal);
+}
+
+TEST(HarnessLifecycle, MetricsCarryAvailabilityInstruments) {
+  HarnessConfig config = load_config(19);
+  config.collect_metrics = true;
+  config.fault_process = modest_load();
+  SystemHarness h(config);
+  h.start();
+  h.run_for(6000);
+  h.drain(3000);
+  const RunStats stats = h.stats();
+  bool saw_rate = false, saw_avail = false, saw_reconverge = false;
+  for (const obs::MetricSample& s : stats.metrics) {
+    saw_rate = saw_rate || s.name == "fault_rate_per_kilotick";
+    saw_avail = saw_avail || s.name == "availability_ppm";
+    saw_reconverge = saw_reconverge || s.name == "reconverge_ticks";
+  }
+  EXPECT_TRUE(saw_rate);
+  EXPECT_TRUE(saw_avail);
+  EXPECT_TRUE(saw_reconverge);
+  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_GT(stats.reconverge_windows, 0u);
+}
+
+// --- Liveness under sustained load ------------------------------------------
+
+TEST(SustainedLoad, WrappedSystemStaysLiveUnderModestContinuousFaults) {
+  // The regime the ROADMAP cares about: faults keep arriving, and the
+  // wrapped system keeps serving the critical section between them.
+  HarnessConfig config = load_config(23);
+  config.fault_process = modest_load();
+  config.fault_process.end = 6000;  // quiesce before the drain
+  SystemHarness h(config);
+  h.start();
+  h.run_for(8000);
+  h.drain(4000);
+  const RunStats stats = h.stats();
+  EXPECT_GT(stats.faults_injected, 10u);
+  EXPECT_GT(stats.cs_entries, 0u);
+  EXPECT_TRUE(h.stabilization_report().stabilized);
+}
+
+// --- Engine determinism ------------------------------------------------------
+
+TEST(SustainedLoad, EngineJsonByteIdenticalAcrossJobs) {
+  // Fault-load cells ride the experiment engine like any other: the whole
+  // artifact is byte-identical between --jobs 1 and --jobs 8 (modulo
+  // wall-clock lines).
+  auto grid = [] {
+    SpecGrid g;
+    for (const std::uint64_t rate : {0ull, 200ull}) {
+      HarnessConfig config;
+      config.n = 4;
+      config.seed = 7;
+      if (rate > 0) {
+        config.fault_process.drop_mean = static_cast<double>(rate);
+        config.fault_process.spurious_mean = static_cast<double>(rate);
+        config.fault_process.crash_mean = static_cast<double>(rate) * 10;
+        config.fault_process.downtime_mean = 100;
+        config.fault_process.end = 2500;
+      }
+      FaultScenario scenario;
+      scenario.warmup = 300;
+      scenario.burst = 0;  // the sustained load IS the adversary
+      scenario.observation = 2500;
+      scenario.drain = 1500;
+      g.add("rate_" + std::to_string(rate), config, scenario, 4);
+    }
+    return g;
+  };
+  const GridResult serial = ExperimentEngine(EngineOptions{.jobs = 1}).run(grid());
+  const GridResult parallel =
+      ExperimentEngine(EngineOptions{.jobs = 8}).run(grid());
+  const std::string a =
+      report::strip_volatile_lines(grid_to_json("fault_load", serial).dump());
+  const std::string b =
+      report::strip_volatile_lines(grid_to_json("fault_load", parallel).dump());
+  EXPECT_EQ(a, b);
+  // The digest must key on the fault-load shape: distinct cells differ.
+  ASSERT_EQ(serial.cells.size(), 2u);
+  EXPECT_NE(serial.cells[0].config_digest, serial.cells[1].config_digest);
+}
+
+}  // namespace
+}  // namespace graybox::core

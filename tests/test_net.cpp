@@ -132,6 +132,83 @@ TEST_F(ChannelTest, ClearSilencesEverything) {
   EXPECT_EQ(ch->in_flight(), 0u);
 }
 
+TEST_F(ChannelTest, InjectFoldsTickTimeIntoArrivalFloor) {
+  // Regression: fault_inject scheduled its delivery tick at
+  // max(now, last_arrival_) but never folded that time back into
+  // last_arrival_, so the documented monotone-arrival invariant was
+  // silently broken whenever the channel had already drained (stale floor
+  // below now).
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->enqueue(make_msg(0, 1, 1));  // arrival (and floor) = 10
+  sched.run_all();                 // delivered; floor left at 10
+  EXPECT_EQ(ch->last_arrival(), 10u);
+  sched.schedule_at(25, [&] { ch->fault_inject(make_msg(0, 1, 42)); });
+  sched.run_until(25);
+  // The fabricated message's tick is at t=25; the floor must cover it.
+  EXPECT_EQ(ch->last_arrival(), 25u);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 2u);
+}
+
+TEST_F(ChannelTest, DuplicateFoldsTickTimeIntoArrivalFloor) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  ch->enqueue(make_msg(0, 1, 1));
+  sched.schedule_at(4, [&] { ch->fault_duplicate(0); });
+  sched.run_until(4);
+  // Duplicate tick lands at max(4, 10) = 10 — already covered, and the
+  // floor must stay exactly there (monotone, no regression below).
+  EXPECT_EQ(ch->last_arrival(), 10u);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 2u);
+}
+
+TEST_F(ChannelTest, ClearForgetsDelayFloorAndStaleTicks) {
+  // Regression: fault_clear dropped the queue but kept last_arrival_ at
+  // the cleared tail and left the cleared backlog's ticks armed. A
+  // post-clear message then (a) inherited the dead backlog's delay floor
+  // and (b) could be delivered *early* by a stale tick. An improperly
+  // initialized channel must forget everything.
+  auto ch = make_channel(DelayModel::fixed(50));
+  ch->enqueue(make_msg(0, 1, 1));  // arrival 50, tick armed at 50
+  sched.schedule_at(10, [&] {
+    ch->fault_clear();
+    EXPECT_EQ(ch->last_arrival(), 10u);  // floor reset to now
+    ch->enqueue(make_msg(0, 1, 2));      // arrival 10 + 50 = 60
+  });
+  sched.run_until(59);
+  // Pre-fix the stale tick at t=50 delivered the new message 10 early.
+  EXPECT_TRUE(delivered.empty());
+  sched.run_until(60);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].ts.counter, 2u);
+}
+
+TEST_F(ChannelTest, InjectStampsDistinctSpuriousUids) {
+  // Regression: fabricated messages all carried uid = 0, so every spurious
+  // message aliased every other one (and uid-0 legacy traffic) in the
+  // monitors' send/delivery correlation.
+  auto ch = make_channel(DelayModel::fixed(5));
+  ch->fault_inject(make_msg(0, 1, 1));
+  ch->fault_inject(make_msg(0, 1, 2));
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_TRUE(is_spurious_uid(delivered[0].uid));
+  EXPECT_TRUE(is_spurious_uid(delivered[1].uid));
+  EXPECT_NE(delivered[0].uid, delivered[1].uid);
+}
+
+TEST_F(ChannelTest, InjectKeepsCallerProvidedUid) {
+  // Scenario tests may fabricate messages with an explicit identity; only
+  // uid-less messages get a spurious stamp.
+  auto ch = make_channel(DelayModel::fixed(5));
+  Message fake = make_msg(0, 1, 1);
+  fake.uid = 1234;
+  ch->fault_inject(fake);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].uid, 1234u);
+}
+
 TEST_F(ChannelTest, AccountingCounters) {
   auto ch = make_channel(DelayModel::fixed(1));
   ch->enqueue(make_msg(0, 1, 1));
@@ -225,6 +302,46 @@ TEST_F(NetworkTest, FabricatedMessageWithEmptyVcStillDelivered) {
   net.channel(0, 1).fault_inject(fake);
   sched.run_all();
   ASSERT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetworkTest, SpuriousUidsUniqueAcrossChannels) {
+  // The spurious-uid counter is network-wide: injections on different
+  // channels must never collide.
+  net.channel(0, 1).fault_inject(make_msg(0, 1, 1));
+  net.channel(1, 2).fault_inject(make_msg(1, 2, 2));
+  sched.run_all();
+  ASSERT_EQ(received[1].size(), 1u);
+  ASSERT_EQ(received[2].size(), 1u);
+  EXPECT_TRUE(is_spurious_uid(received[1][0].uid));
+  EXPECT_TRUE(is_spurious_uid(received[2][0].uid));
+  EXPECT_NE(received[1][0].uid, received[2][0].uid);
+}
+
+TEST_F(NetworkTest, PartitionDropsCrossSideSendsUntilHealed) {
+  net.set_partition(0b001);  // {0} vs {1, 2}
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});  // cross: lost
+  net.send(1, 2, MsgType::kReply, clk::Timestamp{2, 1});    // same side
+  sched.run_all();
+  EXPECT_EQ(received[1].size(), 0u);
+  ASSERT_EQ(received[2].size(), 1u);
+  EXPECT_EQ(net.dropped_by_partition(), 1u);
+  // The send still happened from the sender's point of view.
+  EXPECT_EQ(net.total_sent(), 2u);
+
+  net.set_partition(0);  // heal
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{3, 0});
+  sched.run_all();
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(net.dropped_by_partition(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionLeavesInFlightMessagesAlone) {
+  net.send(0, 1, MsgType::kRequest, clk::Timestamp{1, 0});  // on the wire
+  net.set_partition(0b001);
+  sched.run_all();
+  // The cut severs the link, not messages already in transit.
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(net.dropped_by_partition(), 0u);
 }
 
 TEST_F(NetworkTest, MessageToString) {

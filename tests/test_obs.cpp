@@ -99,7 +99,9 @@ TEST(EventBus, PerMonitorAndPerFaultAggregates) {
   bus.set_monitor_names({"ME1", "ME2"});
   bus.set_fault_kind_names(net::fault_kind_names());
   ASSERT_EQ(bus.monitor_stats().size(), 2u);
-  ASSERT_EQ(bus.fault_stats().size(), net::kFaultKindCount);
+  // The name table covers the injector's kinds plus the lifecycle codes
+  // (crash/recover/partition/heal) the harness records.
+  ASSERT_EQ(bus.fault_stats().size(), net::kFaultCodeCount);
 
   auto at = [&](SimTime delay, Event e) {
     sched.schedule_after(delay, [&bus, e] { bus.record(e); });

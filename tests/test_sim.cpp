@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event scheduler, periodic timers, and trace.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -301,6 +302,39 @@ TEST(PeriodicTimer, SetPeriodRearms) {
   timer.set_period(3);
   sched.run_until(19);
   EXPECT_EQ(fires, (std::vector<SimTime>{10, 13, 16, 19}));
+}
+
+TEST(PeriodicTimer, SetPeriodInsideTickDoesNotDoubleArm) {
+  // Regression: set_period called from inside the tick callback (adaptive
+  // period retuning) used to arm a second tick chain — on_tick re-armed
+  // unconditionally after fn_ returned — doubling the rate on every
+  // retune. The in-progress tick must simply re-arm with the new period.
+  Scheduler sched;
+  std::vector<SimTime> fires;
+  std::unique_ptr<PeriodicTimer> timer;
+  timer = std::make_unique<PeriodicTimer>(sched, 10, [&] {
+    fires.push_back(sched.now());
+    timer->set_period(7);
+  });
+  timer->start();
+  sched.run_until(40);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 17, 24, 31, 38}));
+}
+
+TEST(PeriodicTimer, RestartInsideTickKeepsSingleChain) {
+  // stop()+start() inside the tick re-arms explicitly; on_tick must not
+  // arm again on top of that.
+  Scheduler sched;
+  std::vector<SimTime> fires;
+  std::unique_ptr<PeriodicTimer> timer;
+  timer = std::make_unique<PeriodicTimer>(sched, 10, [&] {
+    fires.push_back(sched.now());
+    timer->stop();
+    timer->start();
+  });
+  timer->start();
+  sched.run_until(30);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 20, 30}));
 }
 
 TEST(PeriodicTimer, StartIsIdempotent) {

@@ -22,8 +22,14 @@ int main(int argc, char** argv) {
 
   Flags flags(argc, argv,
               {{"n", "number of processes (default 5)"},
-               {"algorithm", "ra | lamport | fragile | mixed (default ra)"},
-               {"wrapped", "attach graybox wrappers (default true)"},
+               {"algorithm",
+                "any registered algorithm name or alias, or 'mixed' "
+                "(default ra; unknown names list the registry)"},
+               {"options",
+                "comma-separated key=value algorithm options, resolved "
+                "against the algorithm's schema (e.g. lease=4)"},
+               {"wrapped", "attach graybox wrappers W' (default true)"},
+               {"level1", "attach level-1 local wrappers too (default false)"},
                {"delta", "wrapper timeout (default 20)"},
                {"faults", "fault burst size after warmup (default 10)"},
                {"fault-kind",
@@ -57,20 +63,30 @@ int main(int argc, char** argv) {
   HarnessConfig config;
   config.n = static_cast<std::size_t>(flags.get_int("n", 5));
   const std::string algo = flags.get("algorithm", "ra");
-  if (algo == "lamport") {
-    config.algorithm = Algorithm::kLamport;
-  } else if (algo == "fragile") {
-    config.algorithm = Algorithm::kFragile;
-  } else if (algo == "mixed") {
+  const me::ProtocolRegistry& registry = me::ProtocolRegistry::instance();
+  if (algo == "mixed") {
     config.per_process_algorithms.resize(config.n);
     for (std::size_t j = 0; j < config.n; ++j) {
       config.per_process_algorithms[j] =
-          j % 2 == 0 ? Algorithm::kRicartAgrawala : Algorithm::kLamport;
+          j % 2 == 0 ? "ricart-agrawala" : "lamport";
     }
+  } else if (const me::ProcessFactory* factory = registry.find(algo)) {
+    config.algorithm = std::string(factory->name());
   } else {
-    config.algorithm = Algorithm::kRicartAgrawala;
+    std::cerr << "unknown algorithm '" << algo << "'; registered:";
+    for (std::string_view name : registry.names()) std::cerr << " " << name;
+    std::cerr << " (or 'mixed')\n";
+    return 2;
+  }
+  const std::string options = flags.get("options", "");
+  for (std::size_t pos = 0; pos < options.size();) {
+    const std::size_t comma = options.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? options.size() : comma;
+    if (end > pos) config.algorithm_options.push_back(options.substr(pos, end - pos));
+    pos = end + 1;
   }
   config.wrapped = flags.get_bool("wrapped", true);
+  config.level1 = flags.get_bool("level1", false);
   config.wrapper.resend_period =
       static_cast<SimTime>(flags.get_int("delta", 20));
   config.client.think_mean = flags.get_double("think", 40);
@@ -139,8 +155,10 @@ int main(int argc, char** argv) {
   const RunStats stats = system.stats();
   const StabilizationReport report = system.stabilization_report();
 
-  std::cout << "configuration: n=" << config.n << " algorithm=" << algo
+  std::cout << "configuration: n=" << config.n
+            << " algorithm=" << algorithm_spec(config)
             << " wrapped=" << (config.wrapped ? "yes" : "no")
+            << " level1=" << (config.level1 ? "yes" : "no")
             << " delta=" << config.wrapper.resend_period
             << " seed=" << config.seed << "\n";
   std::cout << "faults: " << system.faults().total_injected() << " of kind "
@@ -170,6 +188,7 @@ int main(int argc, char** argv) {
   summary.row("messages (protocol)",
               stats.messages_sent - stats.wrapper_messages);
   summary.row("messages (wrapper)", stats.wrapper_messages);
+  if (config.level1) summary.row("level-1 corrections", stats.level1_corrections);
   summary.row("max CS wait", stats.me2_max_wait);
   summary.row("events executed", stats.events_executed);
   if (config.fault_process.any_enabled() || stats.crashes > 0 ||

@@ -20,14 +20,14 @@ int main(int argc, char** argv) {
 
   Flags flags(argc, argv,
               {{"n", "number of processes (default 5)"},
-               {"algorithm", "ra | lamport (default ra)"},
+               {"algorithm",
+                "any registered algorithm name or alias (default ra)"},
                {"seed", "experiment seed (default 1)"}});
 
   HarnessConfig config;
   config.n = static_cast<std::size_t>(flags.get_int("n", 5));
-  config.algorithm = flags.get("algorithm", "ra") == "lamport"
-                         ? Algorithm::kLamport
-                         : Algorithm::kRicartAgrawala;
+  // Any registered name or alias works here; the registry canonicalizes.
+  config.algorithm = flags.get("algorithm", "ra");
   config.wrapped = true;                 // attach the graybox wrapper W'
   config.wrapper.resend_period = 20;     // the timeout delta of Section 4
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   system.start();
 
   std::cout << "graybox-stabilization quickstart: " << config.n << " "
-            << to_string(config.algorithm)
+            << algorithm_spec(config)
             << " processes, wrapped with W' (delta=20)\n\n";
 
   // Phase 1: fault-free warmup.

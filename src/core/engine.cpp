@@ -33,6 +33,13 @@ class Fnv1a {
     mix(bits);
   }
   void mix(bool b) { mix(std::uint64_t{b ? 1u : 0u}); }
+  void mix(std::string_view s) {
+    mix(std::uint64_t{s.size()});
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ull;
+    }
+  }
   std::uint64_t value() const { return hash_; }
 
  private:
@@ -44,21 +51,29 @@ class Fnv1a {
 std::string config_digest(const HarnessConfig& config) {
   Fnv1a h;
   h.mix(std::uint64_t{config.n});
-  h.mix(static_cast<std::uint64_t>(config.algorithm));
-  h.mix(std::uint64_t{config.per_process_algorithms.size()});
-  for (const Algorithm a : config.per_process_algorithms)
-    h.mix(static_cast<std::uint64_t>(a));
+  // The algorithm choice is hashed through the registry's canonical
+  // serialization (per-process "name[key=value,...]" with options fully
+  // resolved), NOT through enum values or struct-field order: two configs
+  // that construct identical processes digest identically regardless of
+  // spelling (alias, legacy struct, generic option), and externally
+  // registered algorithms digest without touching this function.
+  h.mix(std::string_view{algorithm_spec(config)});
   h.mix(config.wrapped);
   h.mix(std::uint64_t{config.wrapper.resend_period});
   h.mix(config.wrapper.unrefined_send_all);
+  h.mix(config.level1);
+  h.mix(std::uint64_t{config.local_wrapper.check_period});
+  h.mix(std::uint64_t{config.per_process_tiers.size()});
+  for (const std::uint8_t t : config.per_process_tiers)
+    h.mix(std::uint64_t{t});
   h.mix(std::uint64_t{config.delay.min});
   h.mix(std::uint64_t{config.delay.max});
   h.mix(config.client.think_mean);
   h.mix(config.client.eat_mean);
   h.mix(std::uint64_t{config.client.poll_interval});
   h.mix(config.client.wants_cs);
-  h.mix(config.ra_options.monotone_views);
-  h.mix(config.lamport_options.head_only_release);
+  // ra_options/lamport_options are not mixed directly: algorithm_spec
+  // already folds the deprecated structs into the resolved option list.
   h.mix(config.install_monitors);
   h.mix(config.install_lspec_monitors);
   h.mix(config.fault_process.drop_mean);
@@ -178,6 +193,7 @@ GridResult ExperimentEngine::run(const SpecGrid& grid) const {
     CellResult cell;
     cell.name = spec.name;
     cell.config_digest = config_digest(spec.config);
+    cell.algorithm = algorithm_spec(spec.config);
     cell.base_seed = spec.config.seed;
     cell.result = RepeatedResult(sample_cap_);
     for (const Slot& slot : slots[c]) {
@@ -226,6 +242,7 @@ report::Json cell_to_json(const CellResult& cell) {
   report::Json j = report::Json::object();
   j["name"] = cell.name;
   j["config"] = cell.config_digest;
+  j["algorithm"] = cell.algorithm;
   j["base_seed"] = cell.base_seed;
   j["trials"] = std::uint64_t{cell.result.trials};
   j["stabilized"] = std::uint64_t{cell.result.stabilized};

@@ -80,6 +80,9 @@ struct EngineOptions {
 struct CellResult {
   std::string name;
   std::string config_digest;  ///< hex digest of the cell's HarnessConfig
+  /// Registry-canonical algorithm spec of the cell's config (see
+  /// core::algorithm_spec); round-trips through the JSON cell.
+  std::string algorithm;
   std::uint64_t base_seed = 0;
   RepeatedResult result;
   double wall_seconds = 0.0;  ///< summed per-trial wall time (CPU-ish)

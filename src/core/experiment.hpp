@@ -65,7 +65,7 @@ struct RepeatedResult {
   Accumulator wrapper_messages;
   Accumulator protocol_messages; ///< total minus wrapper traffic
   Accumulator violations;        ///< StabilizationReport::violations_total
-  Accumulator safety_violations; ///< ME1 + ME3 + invariant-I counts
+  Accumulator safety_violations; ///< ME1 + ME3 + invariant-I + mutual-belief
   Accumulator cs_entries;
   Accumulator max_wait;          ///< ME2 worst-case waiting time per trial
   Accumulator events;            ///< simulator events executed per trial

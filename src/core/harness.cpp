@@ -9,6 +9,9 @@
 namespace graybox::core {
 
 const char* to_string(Algorithm a) {
+  // The enum-era names are exactly the registry names (the registry is the
+  // single source of algorithm names; this map only serves the deprecated
+  // enum shim).
   switch (a) {
     case Algorithm::kRicartAgrawala:
       return "ricart-agrawala";
@@ -20,14 +23,69 @@ const char* to_string(Algorithm a) {
   return "unknown";
 }
 
+namespace {
+
+const me::ProcessFactory& factory_for(const HarnessConfig& config,
+                                      ProcessId pid) {
+  const AlgorithmId& id = config.per_process_algorithms.empty()
+                              ? config.algorithm
+                              : config.per_process_algorithms[pid];
+  return me::ProtocolRegistry::instance().require(id.name);
+}
+
+/// The layered option list for one process, lowest precedence first:
+/// deprecated structs, uniform algorithm_options, per-process options.
+std::vector<std::string> options_for(const HarnessConfig& config,
+                                     ProcessId pid,
+                                     const me::ProcessFactory& factory) {
+  std::vector<std::string> opts;
+  if (factory.name() == "ricart-agrawala" && config.ra_options.monotone_views)
+    opts.push_back("monotone_views=1");
+  if (factory.name() == "lamport" && config.lamport_options.head_only_release)
+    opts.push_back("head_only_release=1");
+  opts.insert(opts.end(), config.algorithm_options.begin(),
+              config.algorithm_options.end());
+  if (!config.per_process_options.empty()) {
+    opts.insert(opts.end(), config.per_process_options[pid].begin(),
+                config.per_process_options[pid].end());
+  }
+  return opts;
+}
+
+}  // namespace
+
+std::string algorithm_spec(const HarnessConfig& config) {
+  std::vector<std::string> specs;
+  specs.reserve(config.n);
+  for (ProcessId pid = 0; pid < config.n; ++pid) {
+    const me::ProcessFactory& f = factory_for(config, pid);
+    specs.push_back(f.canonical_spec(f.resolve(options_for(config, pid, f))));
+  }
+  // A heterogeneous vector whose entries all resolve identically constructs
+  // the same system as the uniform spelling — serialize them the same.
+  bool uniform = true;
+  for (const std::string& s : specs) uniform = uniform && s == specs.front();
+  if (uniform) return specs.front();
+  std::string out;
+  for (const std::string& s : specs) {
+    if (!out.empty()) out += "+";
+    out += s;
+  }
+  return out;
+}
+
 SystemHarness::SystemHarness(HarnessConfig config)
     : config_(config), master_rng_(config.seed) {
   GBX_EXPECTS(config_.n >= 1);
-  // A heterogeneous algorithm vector must name exactly one algorithm per
-  // process; anything else is a misconfiguration that must fail fast here,
-  // never silently fall back to `algorithm`.
+  // A heterogeneous algorithm (or option/tier) vector must name exactly one
+  // entry per process; anything else is a misconfiguration that must fail
+  // fast here, never silently fall back to the uniform fields.
   GBX_EXPECTS(config_.per_process_algorithms.empty() ||
               config_.per_process_algorithms.size() == config_.n);
+  GBX_EXPECTS(config_.per_process_options.empty() ||
+              config_.per_process_options.size() == config_.n);
+  GBX_EXPECTS(config_.per_process_tiers.empty() ||
+              config_.per_process_tiers.size() == config_.n);
 
   // The typed event bus exists unconditionally (capacity 0 = disabled) and
   // every producer stays attached, so toggling trace_capacity changes only
@@ -35,8 +93,22 @@ SystemHarness::SystemHarness(HarnessConfig config)
   bus_ = std::make_unique<obs::EventBus>(sched_, config_.trace_capacity);
   bus_->set_fault_kind_names(net::fault_kind_names());
 
+  // Pre-split every RNG stream in the pre-registry order (network, one per
+  // client, injector, fault load, recovery), then split the factory stream
+  // LAST: an external factory that draws must not shift any pre-existing
+  // stream, so seed-pinned runs stay bit-identical to the enum era.
+  Rng net_rng = master_rng_.split();
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(config_.n);
+  for (ProcessId pid = 0; pid < config_.n; ++pid)
+    client_rngs.push_back(master_rng_.split());
+  Rng injector_rng = master_rng_.split();
+  Rng fault_load_rng = master_rng_.split();
+  recovery_rng_ = master_rng_.split();
+  factory_rng_ = master_rng_.split();
+
   net_ = std::make_unique<net::Network>(sched_, config_.n, config_.delay,
-                                        master_rng_.split());
+                                        net_rng);
   net_->set_event_bus(bus_.get());
 
   // Processes + delivery plumbing. A crashed process's deliveries are
@@ -61,21 +133,34 @@ SystemHarness::SystemHarness(HarnessConfig config)
   // Clients (one per process, independent RNG streams).
   for (ProcessId pid = 0; pid < config_.n; ++pid) {
     clients_.push_back(std::make_unique<me::Client>(
-        sched_, *processes_[pid], config_.client, master_rng_.split()));
+        sched_, *processes_[pid], config_.client, client_rngs[pid]));
   }
 
-  // Wrappers: the graybox W' of Section 4, attached per process.
-  if (config_.wrapped) {
-    for (ProcessId pid = 0; pid < config_.n; ++pid) {
-      wrappers_.push_back(std::make_unique<wrapper::GrayboxWrapper>(
-          sched_, *net_, *processes_[pid], config_.wrapper));
-      wrappers_.back()->set_event_bus(bus_.get());
+  // Wrappers, per process and per tier: level-2 is the graybox W' of
+  // Section 4 (mutual consistency), level-1 the local-consistency tier of
+  // Section 2.2. A null entry means the process runs without that tier.
+  wrappers_.resize(config_.n);
+  local_wrappers_.resize(config_.n);
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    std::uint8_t tiers = (config_.wrapped ? kTierLevel2 : 0) |
+                         (config_.level1 ? kTierLevel1 : 0);
+    if (!config_.per_process_tiers.empty())
+      tiers = config_.per_process_tiers[pid];
+    if (tiers & kTierLevel2) {
+      wrappers_[pid] = std::make_unique<wrapper::GrayboxWrapper>(
+          sched_, *net_, *processes_[pid], config_.wrapper);
+      wrappers_[pid]->set_event_bus(bus_.get());
+    }
+    if (tiers & kTierLevel1) {
+      local_wrappers_[pid] = std::make_unique<wrapper::LocalWrapper>(
+          sched_, *processes_[pid], config_.local_wrapper);
+      local_wrappers_[pid]->set_event_bus(bus_.get());
     }
   }
 
   // Fault injection, with process corruption routed to corrupt_state.
   faults_ = std::make_unique<net::FaultInjector>(
-      sched_, *net_, master_rng_.split(),
+      sched_, *net_, injector_rng,
       [this](ProcessId pid, Rng& rng) {
         processes_[pid]->corrupt_state(rng);
       });
@@ -83,21 +168,16 @@ SystemHarness::SystemHarness(HarnessConfig config)
   faults_->set_fault_observer(
       [this](net::FaultKind) { on_fault_arrival(); });
 
-  // Sustained fault load. Its RNG streams are split here, *after* every
-  // stream the seed already feeds (network, clients, injector), so adding
-  // the subsystem does not shift any pre-existing draw sequence; the
-  // recovery stream comes last for the same reason. Lifecycle actions
-  // route back into the harness because processes/clients/wrappers live
-  // above the net layer.
+  // Sustained fault load. Lifecycle actions route back into the harness
+  // because processes/clients/wrappers live above the net layer.
   net::FaultProcess::Callbacks lifecycle;
   lifecycle.crash = [this](ProcessId pid) { return crash(pid); };
   lifecycle.recover = [this](ProcessId pid) { recover(pid); };
   lifecycle.partition = [this](std::uint64_t mask) { return partition(mask); };
   lifecycle.heal = [this] { heal_partition(); };
   fault_load_ = std::make_unique<net::FaultProcess>(
-      sched_, *faults_, config_.n, config_.fault_process, master_rng_.split(),
+      sched_, *faults_, config_.n, config_.fault_process, fault_load_rng,
       std::move(lifecycle));
-  recovery_rng_ = master_rng_.split();
 
   // Monitoring battery.
   structural_ = std::make_unique<lspec::StructuralSpecMonitor>(raw, sched_);
@@ -105,7 +185,20 @@ SystemHarness::SystemHarness(HarnessConfig config)
   fifo_ = std::make_unique<lspec::FifoMonitor>(*net_, sched_);
   if (config_.install_monitors) {
     snapshots_ = std::make_unique<lspec::SnapshotSource>(raw, *net_);
-    tme_handles_ = lspec::install_tme_monitors(monitor_set_, config_.n);
+    // Each process's factory declares which Lspec reading it claims; the
+    // battery adapts (a process opting out of view_entry_truth exempts it
+    // from Invariant I and adds the MutualBelief monitor; opting out of
+    // fcfs exempts its entries from ME3's overtake check). All-claiming
+    // systems get exactly the classic 4-monitor battery.
+    std::vector<char> claims(config_.n, 1);
+    std::vector<char> fcfs_claims(config_.n, 1);
+    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+      const me::SpecConformance conf = factory_for(config_, pid).conformance();
+      claims[pid] = conf.view_entry_truth ? 1 : 0;
+      fcfs_claims[pid] = conf.fcfs ? 1 : 0;
+    }
+    tme_handles_ = lspec::install_tme_monitors(
+        monitor_set_, config_.n, std::move(claims), std::move(fcfs_claims));
     if (config_.install_lspec_monitors) {
       lspec_handles_ =
           lspec::install_lspec_clause_monitors(monitor_set_, config_.n);
@@ -163,6 +256,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
     obs::Histogram& in_flight =
         metrics_.histogram("net_in_flight", obs::Histogram::pow2_bounds(12));
     metrics_.counter("wrapper_resends");
+    metrics_.counter("level1_corrections");
     for (std::size_t k = 0; k < net::kFaultCodeCount; ++k) {
       metrics_.counter(std::string("faults.") +
                        net::fault_code_name(static_cast<std::uint8_t>(k)));
@@ -201,23 +295,12 @@ SystemHarness::SystemHarness(HarnessConfig config)
 SystemHarness::~SystemHarness() = default;
 
 std::unique_ptr<me::TmeProcess> SystemHarness::make_process(ProcessId pid) {
-  Algorithm algo = config_.algorithm;
-  if (!config_.per_process_algorithms.empty()) {
-    GBX_EXPECTS(config_.per_process_algorithms.size() == config_.n);
-    algo = config_.per_process_algorithms[pid];
-  }
-  switch (algo) {
-    case Algorithm::kRicartAgrawala:
-      return std::make_unique<me::RicartAgrawala>(pid, *net_,
-                                                  config_.ra_options);
-    case Algorithm::kLamport:
-      return std::make_unique<me::LamportMe>(pid, *net_,
-                                             config_.lamport_options);
-    case Algorithm::kFragile:
-      return std::make_unique<me::FragileMe>(pid, *net_);
-  }
-  GBX_ASSERT(false && "unknown algorithm");
-  return nullptr;
+  const me::ProcessFactory& factory = factory_for(config_, pid);
+  const me::ResolvedOptions options =
+      factory.resolve(options_for(config_, pid, factory));
+  auto process = factory.make(pid, config_.n, *net_, factory_rng_, options);
+  GBX_ASSERT(process != nullptr);
+  return process;
 }
 
 me::TmeProcess& SystemHarness::process(ProcessId pid) {
@@ -231,9 +314,13 @@ me::Client& SystemHarness::client(ProcessId pid) {
 }
 
 wrapper::GrayboxWrapper* SystemHarness::wrapper(ProcessId pid) {
-  if (!config_.wrapped) return nullptr;
   GBX_EXPECTS(pid < wrappers_.size());
   return wrappers_[pid].get();
+}
+
+wrapper::LocalWrapper* SystemHarness::local_wrapper(ProcessId pid) {
+  GBX_EXPECTS(pid < local_wrappers_.size());
+  return local_wrappers_[pid].get();
 }
 
 const sim::Trace& SystemHarness::trace() const {
@@ -252,7 +339,10 @@ void SystemHarness::start() {
   if (started_) return;
   started_ = true;
   for (auto& client : clients_) client->start();
-  for (auto& w : wrappers_) w->start();
+  for (auto& w : wrappers_)
+    if (w) w->start();
+  for (auto& lw : local_wrappers_)
+    if (lw) lw->start();
   fault_load_->start();
 }
 
@@ -264,7 +354,8 @@ bool SystemHarness::crash(ProcessId pid) {
   // wrapper stops resending. In-flight messages to it still arrive (and
   // are swallowed at the delivery handler).
   clients_[pid]->stop();
-  if (config_.wrapped) wrappers_[pid]->stop();
+  if (wrappers_[pid]) wrappers_[pid]->stop();
+  if (local_wrappers_[pid]) local_wrappers_[pid]->stop();
   note_lifecycle(net::kFaultCodeProcessCrash, pid);
   return true;
 }
@@ -278,7 +369,8 @@ bool SystemHarness::recover(ProcessId pid) {
   // the system converge afterwards.
   processes_[pid]->corrupt_state(recovery_rng_);
   clients_[pid]->start();
-  if (config_.wrapped) wrappers_[pid]->start();
+  if (wrappers_[pid]) wrappers_[pid]->start();
+  if (local_wrappers_[pid]) local_wrappers_[pid]->start();
   note_lifecycle(net::kFaultCodeProcessRecover, pid);
   return true;
 }
@@ -366,7 +458,8 @@ StabilizationReport SystemHarness::stabilization_report() const {
   for (const lspec::TmeMonitor* m :
        {static_cast<const lspec::TmeMonitor*>(tm.me1),
         static_cast<const lspec::TmeMonitor*>(tm.me3),
-        static_cast<const lspec::TmeMonitor*>(tm.invariant_i)}) {
+        static_cast<const lspec::TmeMonitor*>(tm.invariant_i),
+        static_cast<const lspec::TmeMonitor*>(tm.mutual_belief)}) {
     if (m == nullptr) continue;
     total += m->total_violations();
     const SimTime t = m->last_violation();
@@ -463,6 +556,10 @@ RunStats SystemHarness::stats() const {
   if (tm.me3 != nullptr) stats.me3_violations = tm.me3->total_violations();
   if (tm.invariant_i != nullptr)
     stats.invariant_violations = tm.invariant_i->total_violations();
+  if (tm.mutual_belief != nullptr)
+    stats.mutual_belief_violations = tm.mutual_belief->total_violations();
+  for (const auto& lw : local_wrappers_)
+    if (lw) stats.level1_corrections += lw->corrections();
   if (tm.me2 != nullptr) {
     stats.me2_served = tm.me2->served();
     stats.me2_max_wait = tm.me2->max_wait();
@@ -494,8 +591,10 @@ RunStats SystemHarness::stats() const {
     // Refresh the pull counters (registered in the constructor, so the
     // snapshot order never depends on when stats() is called).
     std::uint64_t resends = 0;
-    for (const auto& w : wrappers_) resends += w->resends();
+    for (const auto& w : wrappers_)
+      if (w) resends += w->resends();
     metrics_.counter("wrapper_resends").set(resends);
+    metrics_.counter("level1_corrections").set(stats.level1_corrections);
     for (std::size_t k = 0; k < net::kFaultCodeCount; ++k) {
       const std::uint64_t count =
           k < net::kFaultKindCount

@@ -22,14 +22,16 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "lspec/lspec_clause_monitors.hpp"
 #include "lspec/program_monitors.hpp"
 #include "lspec/snapshot.hpp"
 #include "lspec/tme_monitors.hpp"
 #include "sim/trace.hpp"
 #include "me/client.hpp"
-#include "me/fragile.hpp"
 #include "me/lamport.hpp"
+#include "me/protocol_registry.hpp"
 #include "me/ricart_agrawala.hpp"
 #include "net/fault_injector.hpp"
 #include "net/fault_process.hpp"
@@ -39,30 +41,79 @@
 #include "obs/timeline.hpp"
 #include "sim/scheduler.hpp"
 #include "wrapper/graybox_wrapper.hpp"
+#include "wrapper/local_wrapper.hpp"
 
 namespace graybox::core {
 
+/// Deprecated: the closed enum from before the protocol registry. Kept so
+/// enum-era call sites (tests, benches) compile unchanged; it converts
+/// implicitly into AlgorithmId below. New code should name algorithms by
+/// their registered string (me::ProtocolRegistry).
 enum class Algorithm { kRicartAgrawala, kLamport, kFragile };
 
 const char* to_string(Algorithm a);
 
+/// An algorithm reference: a name resolved through me::ProtocolRegistry at
+/// harness construction (aliases accepted; unknown names fail fast with
+/// the registered list). Implicitly constructible from the deprecated
+/// Algorithm enum and from string literals.
+struct AlgorithmId {
+  std::string name = "ricart-agrawala";
+
+  AlgorithmId() = default;
+  AlgorithmId(Algorithm a) : name(to_string(a)) {}          // NOLINT
+  AlgorithmId(const char* n) : name(n) {}                   // NOLINT
+  AlgorithmId(std::string n) : name(std::move(n)) {}        // NOLINT
+  AlgorithmId(std::string_view n) : name(n) {}              // NOLINT
+
+  friend bool operator==(const AlgorithmId&, const AlgorithmId&) = default;
+};
+
+/// Wrapper-tier bits for HarnessConfig::per_process_tiers.
+inline constexpr std::uint8_t kTierLevel1 = 1u << 0;
+inline constexpr std::uint8_t kTierLevel2 = 1u << 1;
+
 struct HarnessConfig {
   std::size_t n = 5;
-  Algorithm algorithm = Algorithm::kRicartAgrawala;
+  AlgorithmId algorithm{};
 
   /// Heterogeneous systems: when non-empty (size n), overrides `algorithm`
   /// per process. Lspec is a LOCAL everywhere specification (Section 2.1),
   /// so the theory — and the wrapper — apply to mixed implementations;
   /// tests/test_heterogeneous.cpp probes exactly that.
-  std::vector<Algorithm> per_process_algorithms{};
+  std::vector<AlgorithmId> per_process_algorithms{};
 
-  /// Attach one GrayboxWrapper per process (the wrapped system M [] W').
+  /// Uniform "key=value" algorithm options, resolved against each
+  /// process's factory schema (unknown keys fail fast). Overrides the
+  /// deprecated option structs below; in mixed runs every key must be
+  /// valid for every factory — prefer per_process_options there.
+  std::vector<std::string> algorithm_options{};
+
+  /// Per-process options (size n when non-empty), appended after
+  /// algorithm_options (later entries win).
+  std::vector<std::vector<std::string>> per_process_options{};
+
+  /// Attach one GrayboxWrapper per process (the wrapped system M [] W' —
+  /// the level-2, inter-process consistency tier).
   bool wrapped = true;
   wrapper::WrapperConfig wrapper{.resend_period = 25};
+
+  /// Also attach one level-1 (intra-process consistency) wrapper per
+  /// process (paper Section 2.2; wrapper/local_wrapper.hpp). Composable
+  /// with level-2: either tier, or both, per process.
+  bool level1 = false;
+  wrapper::LocalWrapperConfig local_wrapper{};
+
+  /// Per-process tier override (size n when non-empty): bit 0 = level-1,
+  /// bit 1 = level-2 (kTierLevel1/kTierLevel2). Overrides wrapped/level1.
+  std::vector<std::uint8_t> per_process_tiers{};
 
   net::DelayModel delay = net::DelayModel::uniform(1, 5);
   me::ClientConfig client{};
 
+  /// Deprecated: pre-registry per-algorithm option structs. Still honoured
+  /// (folded into the option resolution below algorithm_options), so
+  /// enum-era call sites keep working.
   me::RicartAgrawalaOptions ra_options{};
   me::LamportOptions lamport_options{};
 
@@ -106,6 +157,14 @@ struct HarnessConfig {
   net::FaultProcessConfig fault_process{};
 };
 
+/// The registry-canonical serialization of a config's algorithm choice:
+/// per-process canonical specs ("name" or "name[key=value,...]", options
+/// fully resolved with the deprecated structs folded in), "+"-joined for
+/// heterogeneous systems. Two configs that construct identical processes
+/// serialize identically regardless of how their options were spelled;
+/// the engine's config digests hash exactly this string.
+std::string algorithm_spec(const HarnessConfig& config);
+
 struct RunStats {
   SimTime duration = 0;
   std::uint64_t cs_entries = 0;
@@ -118,6 +177,11 @@ struct RunStats {
   std::uint64_t me1_violations = 0;
   std::uint64_t me3_violations = 0;
   std::uint64_t invariant_violations = 0;
+  /// MutualBelief monitor (installed only when some process opts out of
+  /// view_entry_truth; 0 otherwise).
+  std::uint64_t mutual_belief_violations = 0;
+  /// Local state repairs applied by level-1 wrappers (0 when none attached).
+  std::uint64_t level1_corrections = 0;
   std::uint64_t me2_served = 0;
   SimTime me2_max_wait = 0;
   std::uint64_t lspec_clause_violations = 0;
@@ -193,8 +257,10 @@ class SystemHarness {
 
   me::TmeProcess& process(ProcessId pid);
   me::Client& client(ProcessId pid);
-  /// Null when running bare (config.wrapped == false).
+  /// Null when this process runs without the level-2 tier.
   wrapper::GrayboxWrapper* wrapper(ProcessId pid);
+  /// Null when this process runs without the level-1 tier.
+  wrapper::LocalWrapper* local_wrapper(ProcessId pid);
 
   lspec::TmeMonitorSet& monitors() { return monitor_set_; }
   const lspec::TmeMonitors& tme_monitors() const { return tme_handles_; }
@@ -256,9 +322,15 @@ class SystemHarness {
   Rng master_rng_;
   sim::Scheduler sched_;
   std::unique_ptr<net::Network> net_;
+  /// Stream handed to ProcessFactory::make for randomized constructions.
+  /// Split from the master AFTER every pre-registry stream so the built-in
+  /// factories (which draw nothing) reproduce the enum-era runs bit-exact.
+  Rng factory_rng_;
   std::vector<std::unique_ptr<me::TmeProcess>> processes_;
   std::vector<std::unique_ptr<me::Client>> clients_;
+  /// Size n; a null entry means that process runs without that tier.
   std::vector<std::unique_ptr<wrapper::GrayboxWrapper>> wrappers_;
+  std::vector<std::unique_ptr<wrapper::LocalWrapper>> local_wrappers_;
   std::unique_ptr<net::FaultInjector> faults_;
   std::unique_ptr<net::FaultProcess> fault_load_;
   /// RNG stream feeding the "improperly initialized" state a recovering

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/contracts.hpp"
+
 namespace graybox::lspec {
 namespace {
 
@@ -45,8 +47,18 @@ Me2Monitor::Me2Monitor(std::size_t n)
 
 void Me2Monitor::begin(SimTime t, const GlobalSnapshot& s0) { scan(t, s0); }
 
-void Me2Monitor::step(SimTime t, const GlobalSnapshot&,
+void Me2Monitor::step(SimTime t, const GlobalSnapshot& prev,
                       const GlobalSnapshot& cur) {
+  for (std::size_t j = 0; j < cur.procs.size(); ++j) {
+    // Collapsed request+entry (t -> e whose own vector-clock component
+    // advanced — a genuine request ticks it, a fault jump does not; see
+    // the file comment): the request was served within one event, wait 0.
+    if (prev.procs[j].state == me::TmeState::kThinking &&
+        cur.procs[j].eating() && cur.vc_row(j)[j] > prev.vc_row(j)[j]) {
+      ++served_;
+      ++collapsed_entries_;
+    }
+  }
   scan(t, cur);
 }
 
@@ -84,6 +96,11 @@ void Me2Monitor::finish(SimTime, const GlobalSnapshot&) {
 
 Me3Monitor::Me3Monitor(std::size_t n) : TmeMonitor("ME3"), open_(n) {}
 
+Me3Monitor::Me3Monitor(std::size_t n, std::vector<char> fcfs_claims)
+    : TmeMonitor("ME3"), open_(n), claims_(std::move(fcfs_claims)) {
+  GBX_EXPECTS(claims_.empty() || claims_.size() == n);
+}
+
 void Me3Monitor::begin(SimTime t, const GlobalSnapshot& s0) {
   // Processes already hungry in the very first state are open requests
   // whose causal position is the current clock.
@@ -99,7 +116,17 @@ void Me3Monitor::step(SimTime t, const GlobalSnapshot& prev,
     const me::TmeState after = cur.procs[j].state;
     if (before == after) continue;
     if (after == me::TmeState::kHungry) on_request(j, t, cur);
-    if (after == me::TmeState::kEating) on_entry(j, t, cur);
+    if (after == me::TmeState::kEating) {
+      // Collapsed request+entry (t -> e in one event): a genuine program
+      // step ticks the process's own vector-clock component when it
+      // requests (net::Network::local_event); a fault jump into the CS
+      // does not. Register the implicit request so the FCFS check runs
+      // against the entry's true causal position instead of treating it
+      // as a spurious jump.
+      if (!open_[j].open && cur.vc_row(j)[j] > prev.vc_row(j)[j])
+        on_request(j, t, cur);
+      on_entry(j, t, cur);
+    }
     if (after == me::TmeState::kThinking) open_[j].open = false;
   }
 }
@@ -133,7 +160,13 @@ void Me3Monitor::on_entry(std::size_t j, SimTime t,
   ++entries_checked_;
   if (open_[j].open) {
     // FCFS: no peer with a request that happened-before ours may still be
-    // waiting when we enter.
+    // waiting when we enter. A process that does not claim
+    // SpecConformance::fcfs is exempt: its permission-backed fast path
+    // overtakes by design, fault-free.
+    if (!claims_fcfs(j)) {
+      open_[j].open = false;
+      return;
+    }
     for (std::size_t k = 0; k < open_.size(); ++k) {
       if (k == j || !open_[k].open) continue;
       if (!cur.procs[k].hungry()) continue;
@@ -163,6 +196,9 @@ void Me3Monitor::on_entry(std::size_t j, SimTime t,
 
 InvariantIMonitor::InvariantIMonitor() : TmeMonitor("InvariantI") {}
 
+InvariantIMonitor::InvariantIMonitor(std::vector<char> claims)
+    : TmeMonitor("InvariantI"), claims_(std::move(claims)) {}
+
 void InvariantIMonitor::begin(SimTime t, const GlobalSnapshot& s0) {
   check(t, s0);
 }
@@ -178,6 +214,10 @@ void InvariantIMonitor::check(SimTime t, const GlobalSnapshot& s) {
     // The belief only matters while competing: Lspec reads the views in
     // CS Entry Spec's guard, which is conjoined with h.j.
     if (!s.procs[j].hungry()) continue;
+    // A process that does not claim view_entry_truth (its entry guard is
+    // permission-backed, not view-backed) is exempt; MutualBeliefMonitor
+    // covers it instead.
+    if (j < claims_.size() && claims_[j] == 0) continue;
     for (std::size_t k = 0; k < s.procs.size(); ++k) {
       if (k == j || !s.knows_earlier(j, k)) continue;
       if (!clk::lt(s.procs[j].req, s.procs[k].req)) {
@@ -196,14 +236,67 @@ void InvariantIMonitor::check(SimTime t, const GlobalSnapshot& s) {
   in_violation_ = bad;
 }
 
+// --- Mutual Belief -----------------------------------------------------------
+
+MutualBeliefMonitor::MutualBeliefMonitor() : TmeMonitor("MutualBelief") {}
+
+void MutualBeliefMonitor::begin(SimTime t, const GlobalSnapshot& s0) {
+  check(t, s0);
+}
+
+void MutualBeliefMonitor::step(SimTime t, const GlobalSnapshot&,
+                               const GlobalSnapshot& cur) {
+  check(t, cur);
+}
+
+void MutualBeliefMonitor::check(SimTime t, const GlobalSnapshot& s) {
+  bool bad = false;
+  for (std::size_t j = 0; j < s.procs.size() && !bad; ++j) {
+    if (!s.procs[j].hungry()) continue;
+    for (std::size_t k = j + 1; k < s.procs.size(); ++k) {
+      if (!s.procs[k].hungry()) continue;
+      if (s.knows_earlier(j, k) && s.knows_earlier(k, j)) {
+        bad = true;
+        // Like Invariant I, report every bad state so the stabilization
+        // detector sees when the violation ended.
+        report(t, "processes " + std::to_string(j) + " and " +
+                      std::to_string(k) +
+                      " each believe their request precedes the other's");
+        break;
+      }
+    }
+  }
+  if (bad && !in_violation_) ++episodes_;
+  in_violation_ = bad;
+}
+
 // --- Battery -----------------------------------------------------------------
 
 TmeMonitors install_tme_monitors(TmeMonitorSet& set, std::size_t n) {
+  return install_tme_monitors(set, n, {});
+}
+
+TmeMonitors install_tme_monitors(TmeMonitorSet& set, std::size_t n,
+                                 std::vector<char> view_entry_truth_claims,
+                                 std::vector<char> fcfs_claims) {
+  bool all_claim = true;
+  for (char c : view_entry_truth_claims)
+    if (c == 0) all_claim = false;
+  bool all_fcfs = true;
+  for (char c : fcfs_claims)
+    if (c == 0) all_fcfs = false;
   TmeMonitors handles;
   handles.me1 = &set.add<Me1Monitor>();
   handles.me2 = &set.add<Me2Monitor>(n);
-  handles.me3 = &set.add<Me3Monitor>(n);
-  handles.invariant_i = &set.add<InvariantIMonitor>();
+  handles.me3 = all_fcfs ? &set.add<Me3Monitor>(n)
+                         : &set.add<Me3Monitor>(n, std::move(fcfs_claims));
+  if (all_claim) {
+    handles.invariant_i = &set.add<InvariantIMonitor>();
+  } else {
+    handles.invariant_i =
+        &set.add<InvariantIMonitor>(std::move(view_entry_truth_claims));
+    handles.mutual_belief = &set.add<MutualBeliefMonitor>();
+  }
   return handles;
 }
 

@@ -21,6 +21,23 @@
 //                                 whenever a process *believes* its request
 //                                 is earlier than k's (knows_earlier), the
 //                                 requests' true timestamps agree.
+//   Mutual Belief               - the pairwise weakening of Invariant I for
+//                                 implementations whose entry guard rests
+//                                 on retained permissions rather than views
+//                                 (Carvalho-Roucairol): two competing
+//                                 processes must never simultaneously
+//                                 believe they precede each other. Installed
+//                                 only when some process's factory opts out
+//                                 of Invariant I's per-view truth
+//                                 (SpecConformance::view_entry_truth).
+//
+// Collapsed entries: a process whose entry guard already holds when it
+// requests enters the CS within the same simulator event, so monitors
+// observe t -> e directly (Carvalho-Roucairol does this on every retained
+// permission; Ricart-Agrawala only from corrupted-high views). ME2 and ME3
+// distinguish such genuine collapsed request+entry steps from fault jumps
+// into the CS by the monitor-side vector clock: a real request ticks the
+// process's own component (net::Network::local_event), a fault does not.
 #pragma once
 
 #include "lspec/snapshot.hpp"
@@ -59,6 +76,9 @@ class Me2Monitor : public TmeMonitor {
   void finish(SimTime t, const GlobalSnapshot& last) override;
 
   std::uint64_t served() const { return served_; }
+  /// Collapsed t -> e entries counted as service (wait 0); see the file
+  /// comment. A subset of served().
+  std::uint64_t collapsed_entries() const { return collapsed_entries_; }
   /// Longest completed hungry->eating wait observed.
   SimTime max_wait() const { return max_wait_; }
   /// True iff the drained run ended with someone still hungry (deadlock or
@@ -69,14 +89,23 @@ class Me2Monitor : public TmeMonitor {
   void scan(SimTime t, const GlobalSnapshot& s);
   std::vector<SimTime> hungry_since_;
   std::uint64_t served_ = 0;
+  std::uint64_t collapsed_entries_ = 0;
   SimTime max_wait_ = 0;
   bool starvation_at_end_ = false;
 };
 
 /// ME3: FCFS via happened-before on request events.
+///
+/// `fcfs_claims` (optional) marks which processes assert
+/// SpecConformance::fcfs. An entry by a non-claiming process
+/// (Carvalho-Roucairol, whose leased fast path deliberately overtakes
+/// causally earlier requests) is exempt from the overtake check; entries
+/// without a recorded request — fault jumps into the CS — are reported for
+/// every process. Empty means every process claims.
 class Me3Monitor : public TmeMonitor {
  public:
   explicit Me3Monitor(std::size_t n);
+  Me3Monitor(std::size_t n, std::vector<char> fcfs_claims);
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
@@ -93,22 +122,56 @@ class Me3Monitor : public TmeMonitor {
   };
   void on_request(std::size_t j, SimTime t, const GlobalSnapshot& cur);
   void on_entry(std::size_t j, SimTime t, const GlobalSnapshot& cur);
+  bool claims_fcfs(std::size_t j) const {
+    return claims_.empty() || claims_[j] != 0;
+  }
 
   std::vector<OpenRequest> open_;
+  std::vector<char> claims_;
   std::uint64_t entries_checked_ = 0;
 };
 
 /// Invariant I (relation form): knows_earlier(j,k) => REQj lt REQk.
+///
+/// `claims` (optional) marks which processes assert
+/// SpecConformance::view_entry_truth; the belief of a process that does not
+/// claim it (Carvalho-Roucairol, whose entry guard is permission-backed) is
+/// exempt from the per-view check. Empty means every process claims.
 class InvariantIMonitor : public TmeMonitor {
  public:
   InvariantIMonitor();
+  explicit InvariantIMonitor(std::vector<char> claims);
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
 
  private:
   void check(SimTime t, const GlobalSnapshot& s);
+  std::vector<char> claims_;
   bool in_violation_ = false;
+};
+
+/// Mutual Belief: (forall j != k :: h.j /\ h.k =>
+/// !(knows_earlier(j,k) /\ knows_earlier(k,j))). The pairwise weakening of
+/// Invariant I that every everywhere-implementation must satisfy regardless
+/// of how its entry guard is backed: two competing processes believing they
+/// precede each other is precisely the double-permission state from which
+/// bare Carvalho-Roucairol violates ME1. Installed alongside Invariant I
+/// when some process opts out of view_entry_truth.
+class MutualBeliefMonitor : public TmeMonitor {
+ public:
+  MutualBeliefMonitor();
+  void begin(SimTime t, const GlobalSnapshot& s0) override;
+  void step(SimTime t, const GlobalSnapshot& prev,
+            const GlobalSnapshot& cur) override;
+
+  /// Distinct entries into violation (mirrors Me1Monitor::episodes).
+  std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  void check(SimTime t, const GlobalSnapshot& s);
+  bool in_violation_ = false;
+  std::uint64_t episodes_ = 0;
 };
 
 /// Convenience: populate a monitor set with the full TME battery. Returns
@@ -118,7 +181,20 @@ struct TmeMonitors {
   Me2Monitor* me2 = nullptr;
   Me3Monitor* me3 = nullptr;
   InvariantIMonitor* invariant_i = nullptr;
+  /// Non-null only when the claim-aware overload below installed it.
+  MutualBeliefMonitor* mutual_belief = nullptr;
 };
 TmeMonitors install_tme_monitors(TmeMonitorSet& set, std::size_t n);
+
+/// Claim-aware battery: `view_entry_truth_claims[j]` is process j's
+/// SpecConformance::view_entry_truth and `fcfs_claims[j]` its
+/// SpecConformance::fcfs. When every process claims (or a vector is empty)
+/// the corresponding monitor is exactly the one from the 4-monitor battery
+/// above; otherwise Invariant I / ME3 exempt the non-claiming processes and
+/// a MutualBeliefMonitor is appended as the 5th monitor (for
+/// view_entry_truth opt-outs only).
+TmeMonitors install_tme_monitors(TmeMonitorSet& set, std::size_t n,
+                                 std::vector<char> view_entry_truth_claims,
+                                 std::vector<char> fcfs_claims = {});
 
 }  // namespace graybox::lspec

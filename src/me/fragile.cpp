@@ -1,11 +1,43 @@
 // FragileMe is header-only (a one-hook subclass of RicartAgrawala); this
-// translation unit exists to anchor the class's vtable-adjacent checks into
-// the library and keep one definition of its typeinfo.
+// translation unit anchors its typeinfo and hosts its registry factory.
 #include "me/fragile.hpp"
+
+#include "common/contracts.hpp"
+#include "me/protocol_registry.hpp"
 
 namespace graybox::me {
 
 static_assert(!std::is_abstract_v<FragileMe>,
               "FragileMe must be a complete, instantiable implementation");
+
+namespace {
+
+class FragileFactory : public ProcessFactory {
+ public:
+  std::string_view name() const override { return "fragile-ra"; }
+  std::vector<std::string_view> aliases() const override {
+    return {"fragile"};
+  }
+  SpecConformance conformance() const override {
+    // The negative control: implements Lspec only from its initial states
+    // (Theorem 8's premise fails, and so does its conclusion — see
+    // tests/test_fragile.cpp).
+    return SpecConformance{.everywhere = false, .view_entry_truth = true};
+  }
+  std::unique_ptr<TmeProcess> make(ProcessId pid, std::size_t n,
+                                   net::Network& net, Rng& /*rng*/,
+                                   const ResolvedOptions& /*options*/) const
+      override {
+    GBX_EXPECTS(n == net.size());
+    return std::make_unique<FragileMe>(pid, net);
+  }
+};
+
+}  // namespace
+
+const ProcessFactory& fragile_factory() {
+  static const FragileFactory factory;
+  return factory;
+}
 
 }  // namespace graybox::me

@@ -1,0 +1,161 @@
+#include "me/protocol_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace graybox::me {
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "protocol registry: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+// --- ResolvedOptions --------------------------------------------------------
+
+const std::string& ResolvedOptions::get(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  die("option '" + std::string(key) + "' not in schema");
+}
+
+bool ResolvedOptions::get_bool(std::string_view key) const {
+  const std::string& v = get(key);
+  if (v == "1" || v == "true") return true;
+  if (v == "0" || v == "false") return false;
+  die("option '" + std::string(key) + "' expects a boolean, got '" + v + "'");
+}
+
+std::uint64_t ResolvedOptions::get_u64(std::string_view key) const {
+  const std::string& v = get(key);
+  if (v.empty()) die("option '" + std::string(key) + "' expects a number");
+  std::uint64_t out = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') {
+      die("option '" + std::string(key) + "' expects a number, got '" + v +
+          "'");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+std::string ResolvedOptions::canonical() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+// --- ProcessFactory ---------------------------------------------------------
+
+ResolvedOptions ProcessFactory::resolve(
+    const std::vector<std::string>& options) const {
+  ResolvedOptions resolved;
+  const std::vector<OptionSpec> schema = option_schema();
+  resolved.entries_.reserve(schema.size());
+  for (const OptionSpec& spec : schema)
+    resolved.entries_.emplace_back(spec.key, spec.default_value);
+  for (const std::string& kv : options) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      die("malformed option '" + kv + "' for '" + std::string(name()) +
+          "' (expected key=value)");
+    }
+    const std::string key = kv.substr(0, eq);
+    bool known = false;
+    for (auto& [k, v] : resolved.entries_) {
+      if (k == key) {
+        v = kv.substr(eq + 1);  // later entries win
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string keys;
+      for (const OptionSpec& spec : schema) {
+        if (!keys.empty()) keys += ", ";
+        keys += spec.key;
+      }
+      die("'" + std::string(name()) + "' has no option '" + key +
+          "' (schema: " + (keys.empty() ? "<none>" : keys) + ")");
+    }
+  }
+  return resolved;
+}
+
+std::string ProcessFactory::canonical_spec(
+    const ResolvedOptions& options) const {
+  std::string spec(name());
+  const std::string opts = options.canonical();
+  if (!opts.empty()) spec += "[" + opts + "]";
+  return spec;
+}
+
+// --- ProtocolRegistry -------------------------------------------------------
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry* registry = [] {
+    auto* r = new ProtocolRegistry();
+    // Referencing the accessors (not registrar objects) guarantees the
+    // algorithm TUs are pulled out of static archives.
+    r->add(&ricart_agrawala_factory());
+    r->add(&lamport_factory());
+    r->add(&carvalho_roucairol_factory());
+    r->add(&fragile_factory());
+    return r;
+  }();
+  return *registry;
+}
+
+void ProtocolRegistry::add(const ProcessFactory* factory) {
+  GBX_EXPECTS(factory != nullptr);
+  GBX_EXPECTS(!factory->name().empty());
+  if (find(factory->name()) != nullptr) {
+    die("duplicate registration of '" + std::string(factory->name()) + "'");
+  }
+  for (const std::string_view alias : factory->aliases()) {
+    if (find(alias) != nullptr) {
+      die("alias '" + std::string(alias) + "' of '" +
+          std::string(factory->name()) + "' is already taken");
+    }
+  }
+  factories_.push_back(factory);
+}
+
+const ProcessFactory* ProtocolRegistry::find(std::string_view name) const {
+  for (const ProcessFactory* f : factories_) {
+    if (f->name() == name) return f;
+    for (const std::string_view alias : f->aliases()) {
+      if (alias == name) return f;
+    }
+  }
+  return nullptr;
+}
+
+const ProcessFactory& ProtocolRegistry::require(std::string_view name) const {
+  if (const ProcessFactory* f = find(name)) return *f;
+  std::string known;
+  for (const ProcessFactory* f : factories_) {
+    if (!known.empty()) known += ", ";
+    known += std::string(f->name());
+  }
+  die("unknown algorithm '" + std::string(name) + "'; registered: " + known);
+}
+
+std::vector<std::string_view> ProtocolRegistry::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(factories_.size());
+  for (const ProcessFactory* f : factories_) out.push_back(f->name());
+  return out;
+}
+
+}  // namespace graybox::me

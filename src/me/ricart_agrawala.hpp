@@ -63,6 +63,11 @@ class RicartAgrawala : public TmeProcess {
 
   void update_view(ProcessId k, clk::Timestamp ts);
 
+  /// Program-path mutation of received(j.REQk), for subclasses that take
+  /// over request handling (CarvalhoRoucairol answers pending requests at
+  /// release for *all* pending peers, not only the deferred set).
+  void set_received(ProcessId k, bool value);
+
  private:
   void handle_reply(const net::Message& msg);
 

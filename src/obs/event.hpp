@@ -29,8 +29,9 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,      ///< FaultInjector applied a fault (a = FaultKind)
   kWrapperCorrection,  ///< W'j resent REQj to a stale peer (pid -> peer)
   kMonitorViolation,   ///< a spec monitor reported (monitor = index)
+  kLocalCorrection,    ///< level-1 wrapper repaired local state (a = pred)
 };
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 10;
 
 const char* to_string(EventKind kind);
 
@@ -47,6 +48,8 @@ const char* to_string(EventKind kind);
 ///                           process (process faults only)
 ///   kWrapperCorrection      pid = wrapped process, peer = stale peer
 ///   kMonitorViolation       monitor = index in the owning MonitorSet
+///   kLocalCorrection        pid = repaired process, a = the violated
+///                           predicate (wrapper::LocalWrapper::Predicate)
 struct Event {
   SimTime time = 0;
   std::uint64_t payload = 0;

@@ -24,6 +24,8 @@ const char* to_string(EventKind kind) {
       return "wrapper-correction";
     case EventKind::kMonitorViolation:
       return "monitor-violation";
+    case EventKind::kLocalCorrection:
+      return "local-correction";
   }
   return "unknown-event";
 }
@@ -67,6 +69,21 @@ std::string message_text(const Event& e) {
          ") " + std::to_string(e.pid) + "->" + std::to_string(e.peer);
   if (e.flags & Event::kFromWrapper) out += " [wrapper]";
   return out;
+}
+
+const char* local_predicate_name(std::uint8_t code) {
+  // wrapper::LocalWrapper::Predicate; duplicated for the same layering
+  // reason as above (obs sits below wrapper).
+  switch (code) {
+    case 0:
+      return "req-tracks-clock";
+    case 1:
+      return "foreign-req";
+    case 2:
+      return "req-above-clock";
+    default:
+      return "corrupt-predicate";
+  }
 }
 
 }  // namespace
@@ -155,6 +172,9 @@ std::string EventBus::render(const Event& e) const {
                              : "monitor#" + std::to_string(e.monitor);
       return "violation " + name;
     }
+    case EventKind::kLocalCorrection:
+      return "local-wrapper " + std::to_string(e.pid) + ": repair " +
+             local_predicate_name(e.a);
   }
   return to_string(e.kind);
 }

@@ -13,8 +13,11 @@ namespace {
 constexpr int kPidProcesses = 1;
 constexpr int kPidNetwork = 2;
 constexpr int kPidMonitors = 3;
+constexpr int kPidWrappers = 4;
 constexpr int kTidNetTraffic = 0;
 constexpr int kTidNetFaults = 1;
+constexpr int kTidWrapperLevel2 = 0;
+constexpr int kTidWrapperLevel1 = 1;
 
 report::Json meta_event(int pid, const char* meta_name, std::string value,
                         int tid = -1) {
@@ -89,6 +92,11 @@ report::Json perfetto_trace_json(const EventBus& bus) {
       meta_event(kPidNetwork, "thread_name", "traffic", kTidNetTraffic));
   events.push_back(
       meta_event(kPidNetwork, "thread_name", "faults", kTidNetFaults));
+  events.push_back(meta_event(kPidWrappers, "process_name", "wrappers"));
+  events.push_back(meta_event(kPidWrappers, "thread_name", "level-2 (W')",
+                              kTidWrapperLevel2));
+  events.push_back(meta_event(kPidWrappers, "thread_name", "level-1 (local)",
+                              kTidWrapperLevel1));
   events.push_back(meta_event(kPidMonitors, "process_name", "monitors"));
   for (std::uint16_t m : monitors) {
     std::string name = m < bus.monitor_names().size()
@@ -166,9 +174,16 @@ report::Json perfetto_trace_json(const EventBus& bus) {
         break;
       }
       case EventKind::kFaultInjected:
-      case EventKind::kWrapperCorrection:
         events.push_back(
             instant(kPidNetwork, kTidNetFaults, e.time, bus.render(e)));
+        break;
+      case EventKind::kWrapperCorrection:
+        events.push_back(
+            instant(kPidWrappers, kTidWrapperLevel2, e.time, bus.render(e)));
+        break;
+      case EventKind::kLocalCorrection:
+        events.push_back(
+            instant(kPidWrappers, kTidWrapperLevel1, e.time, bus.render(e)));
         break;
       case EventKind::kMonitorViolation:
         events.push_back(

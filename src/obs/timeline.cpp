@@ -130,7 +130,8 @@ StabilizationTimeline timeline_from_bus(const EventBus& bus) {
   SimTime last = kNever;
   for (EventKind k : {EventKind::kSend, EventKind::kDeliver,
                       EventKind::kFaultInjected, EventKind::kMonitorViolation,
-                      EventKind::kWrapperCorrection}) {
+                      EventKind::kWrapperCorrection,
+                      EventKind::kLocalCorrection}) {
     const KindStats& s = bus.kind_stats(k);
     if (s.count == 0) continue;
     if (last == kNever || s.last > last) last = s.last;

@@ -16,6 +16,7 @@
 
 #include "core/experiment.hpp"
 #include "core/harness.hpp"
+#include "me/carvalho_roucairol.hpp"
 #include "me/lamport.hpp"
 
 namespace graybox::core {
@@ -70,6 +71,70 @@ TEST(MixedStabilization, RecoversFromMixedFaultBursts) {
   scenario.drain = 5000;
   const RepeatedResult result = repeat_fault_experiment(
       mixed_config(600, true), scenario, /*trials=*/8, /*jobs=*/2);
+  EXPECT_TRUE(result.all_stabilized())
+      << result.stabilized << "/" << result.trials << " stabilized, "
+      << result.starved << " starved";
+}
+
+// --- Three-way mix with per-process options ------------------------------------
+
+HarnessConfig three_way_config(std::uint64_t seed) {
+  // RA, Lamport, and Carvalho-Roucairol in ONE system, with a per-process
+  // option (a shortened CR lease) — the registry's per-process resolution
+  // path that the uniform tests never touch.
+  HarnessConfig config;
+  config.n = 4;
+  config.per_process_algorithms = {"ricart-agrawala", "lamport",
+                                   "carvalho-roucairol", "ricart-agrawala"};
+  config.per_process_options = {{}, {}, {"lease=4"}, {}};
+  config.wrapped = true;
+  config.wrapper.resend_period = 20;
+  config.client.think_mean = 35;
+  config.client.eat_mean = 7;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ThreeWayMix, PerProcessOptionsReachTheProcesses) {
+  SystemHarness h(three_way_config(1));
+  EXPECT_EQ(h.process(0).algorithm(), "ricart-agrawala");
+  EXPECT_EQ(h.process(1).algorithm(), "lamport");
+  EXPECT_EQ(h.process(2).algorithm(), "carvalho-roucairol");
+  EXPECT_EQ(h.process(3).algorithm(), "ricart-agrawala");
+  auto* cr = dynamic_cast<me::CarvalhoRoucairol*>(&h.process(2));
+  ASSERT_NE(cr, nullptr);
+  EXPECT_EQ(cr->lease(), 4u);  // the per-process option, not the default 8
+
+  // The canonical spec serializes the heterogeneous vector per process.
+  EXPECT_EQ(algorithm_spec(h.config()),
+            "ricart-agrawala[monotone_views=0]+lamport[head_only_release=0]+"
+            "carvalho-roucairol[lease=4]+ricart-agrawala[monotone_views=0]");
+}
+
+TEST(ThreeWayMix, WrappedSystemIsCorrectFaultFree) {
+  // A CR process in the mix drops view_entry_truth, so the battery swaps
+  // in the mutual-belief monitor — and the mixed system still serves
+  // everyone cleanly.
+  SystemHarness h(three_way_config(2));
+  EXPECT_NE(h.tme_monitors().mutual_belief, nullptr);
+  h.start();
+  h.run_for(6000);
+  h.drain(4000);
+  EXPECT_EQ(h.monitors().total_violations(), 0u);
+  EXPECT_FALSE(h.tme_monitors().me2->starvation_at_end());
+  for (ProcessId pid = 0; pid < 4; ++pid)
+    EXPECT_GT(h.process(pid).cs_entries(), 0u);
+}
+
+TEST(ThreeWayMix, StabilizesFromMixedFaultBursts) {
+  FaultScenario scenario;
+  scenario.warmup = 600;
+  scenario.burst = 12;
+  scenario.mix = net::FaultMix::all();
+  scenario.observation = 7000;
+  scenario.drain = 5000;
+  const RepeatedResult result = repeat_fault_experiment(
+      three_way_config(700), scenario, /*trials=*/8, /*jobs=*/2);
   EXPECT_TRUE(result.all_stabilized())
       << result.stabilized << "/" << result.trials << " stabilized, "
       << result.starved << " starved";

@@ -1,0 +1,204 @@
+// The level-1 (intra-process) wrapper: P1-P3 repairs at the unit level,
+// provable silence in fault-free runs, tier selection through
+// HarnessConfig (level1 / per_process_tiers), composition with the
+// level-2 W', and bus attribution of corrections to the right tier.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/harness.hpp"
+#include "me/ricart_agrawala.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "wrapper/local_wrapper.hpp"
+
+namespace graybox::wrapper {
+namespace {
+
+class LocalWrapperTest : public ::testing::Test {
+ protected:
+  LocalWrapperTest()
+      : net(sched, 2, net::DelayModel::fixed(1), Rng(5)),
+        proc(0, net),
+        peer(1, net),
+        wrapper(sched, proc) {
+    net.set_handler(0, [this](const net::Message& m) { proc.on_message(m); });
+    net.set_handler(1, [this](const net::Message& m) { peer.on_message(m); });
+  }
+
+  sim::Scheduler sched;
+  net::Network net;
+  me::RicartAgrawala proc;
+  me::RicartAgrawala peer;
+  LocalWrapper wrapper;
+};
+
+TEST_F(LocalWrapperTest, CleanStatesPassAllPredicates) {
+  wrapper.evaluate();  // initial state: thinking, REQ glued
+  proc.request_cs();
+  wrapper.evaluate();  // genuine request: own pid, witnessed by own clock
+  sched.run_all();
+  wrapper.evaluate();  // eating
+  proc.release_cs();
+  wrapper.evaluate();  // thinking again
+  EXPECT_EQ(wrapper.corrections(), 0u);
+}
+
+TEST_F(LocalWrapperTest, P1RepairsThinkingReqDrift) {
+  ASSERT_TRUE(proc.thinking());
+  proc.fault_set_req(clk::Timestamp{99, 0});
+  wrapper.evaluate();
+  EXPECT_EQ(wrapper.corrections(), 1u);
+  EXPECT_TRUE(proc.thinking());
+  EXPECT_EQ(proc.req(), proc.clock().now());  // REQ re-glued to ts.j
+}
+
+TEST_F(LocalWrapperTest, P2AbandonsAForeignRequest) {
+  proc.fault_set_state(me::TmeState::kHungry);
+  proc.fault_set_req(clk::Timestamp{3, 1});  // pid 1: not ours
+  wrapper.evaluate();
+  EXPECT_EQ(wrapper.corrections(), 1u);
+  // The genuine request is unrecoverable locally: reset to thinking, REQ
+  // glued, and the client re-requests on its next poll.
+  EXPECT_TRUE(proc.thinking());
+  EXPECT_EQ(proc.req(), proc.clock().now());
+}
+
+TEST_F(LocalWrapperTest, P3AbandonsARequestAboveTheClock) {
+  proc.fault_set_state(me::TmeState::kHungry);
+  proc.fault_set_req(clk::Timestamp{100000, 0});  // never witnessed
+  wrapper.evaluate();
+  EXPECT_EQ(wrapper.corrections(), 1u);
+  EXPECT_TRUE(proc.thinking());
+}
+
+TEST_F(LocalWrapperTest, TimerDrivesChecksOncePerPeriod) {
+  wrapper.start();
+  EXPECT_TRUE(wrapper.running());
+  sched.run_for(4 * wrapper.check_period());
+  EXPECT_EQ(wrapper.checks(), 4u);
+  EXPECT_EQ(wrapper.corrections(), 0u);  // silent on clean states
+  wrapper.stop();
+  EXPECT_FALSE(wrapper.running());
+}
+
+}  // namespace
+}  // namespace graybox::wrapper
+
+namespace graybox::core {
+namespace {
+
+HarnessConfig level1_config(std::uint64_t seed) {
+  HarnessConfig config;
+  config.n = 4;
+  config.wrapped = false;
+  config.level1 = true;
+  config.client.think_mean = 35;
+  config.client.eat_mean = 7;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Level1Harness, FaultFreeRunsAreProvablySilent) {
+  // All three predicates hold in every reachable fault-free state, so a
+  // long run must apply zero corrections — for both wrapper tiers on.
+  HarnessConfig config = level1_config(1);
+  config.wrapped = true;
+  SystemHarness h(config);
+  h.start();
+  h.run_for(8000);
+  h.drain(4000);
+  EXPECT_GT(h.stats().cs_entries, 20u);
+  EXPECT_EQ(h.stats().level1_corrections, 0u);
+}
+
+TEST(Level1Harness, RepairsAScriptedCorruptionWithinOnePeriod) {
+  HarnessConfig config = level1_config(2);
+  config.client.wants_cs = false;  // keep the run quiet: scripted only
+  SystemHarness h(config);
+  h.start();
+  h.run_for(100);
+  h.process(0).fault_set_state(me::TmeState::kHungry);
+  h.process(0).fault_set_req(clk::Timestamp{7, 3});  // foreign request
+  h.run_for(2 * config.local_wrapper.check_period);
+  EXPECT_EQ(h.stats().level1_corrections, 1u);
+  EXPECT_TRUE(h.process(0).thinking());
+  EXPECT_EQ(h.local_wrapper(0)->corrections(), 1u);
+}
+
+TEST(Level1Harness, PerProcessTiersSelectWrappersIndividually) {
+  HarnessConfig config = level1_config(3);
+  config.per_process_tiers = {kTierLevel2, kTierLevel1,
+                              kTierLevel1 | kTierLevel2, 0};
+  SystemHarness h(config);
+  EXPECT_NE(h.wrapper(0), nullptr);
+  EXPECT_EQ(h.local_wrapper(0), nullptr);
+  EXPECT_EQ(h.wrapper(1), nullptr);
+  EXPECT_NE(h.local_wrapper(1), nullptr);
+  EXPECT_NE(h.wrapper(2), nullptr);
+  EXPECT_NE(h.local_wrapper(2), nullptr);
+  EXPECT_EQ(h.wrapper(3), nullptr);
+  EXPECT_EQ(h.local_wrapper(3), nullptr);
+
+  // The mixed-tier system still runs and serves.
+  h.start();
+  h.run_for(4000);
+  h.drain(3000);
+  EXPECT_GT(h.stats().cs_entries, 0u);
+}
+
+TEST(Level1Harness, ComposesWithLevel2UnderProcessCorruption) {
+  // Both tiers on, state-corruption burst: the system stabilizes and the
+  // level-1 tier finds work (corrupt REQ fields are exactly its domain).
+  HarnessConfig config = level1_config(0);
+  config.wrapped = true;
+  FaultScenario scenario;
+  scenario.warmup = 600;
+  scenario.burst = 12;
+  scenario.mix = net::FaultMix::only(net::FaultKind::kProcessCorrupt);
+  scenario.observation = 7000;
+  scenario.drain = 5000;
+
+  RepeatedResult aggregate;
+  for (std::uint64_t seed = 70; seed < 78; ++seed) {
+    HarnessConfig c = config;
+    c.seed = seed;
+    aggregate.add(run_fault_experiment(c, scenario));
+  }
+  EXPECT_TRUE(aggregate.all_stabilized())
+      << aggregate.stabilized << "/" << aggregate.trials;
+  std::uint64_t corrections = 0;
+  for (std::uint64_t seed = 70; seed < 78; ++seed) {
+    HarnessConfig c = config;
+    c.seed = seed;
+    corrections += run_fault_experiment(c, scenario).stats.level1_corrections;
+  }
+  EXPECT_GT(corrections, 0u)
+      << "no corruption in 8 bursts tripped a level-1 predicate";
+}
+
+TEST(Level1Harness, CorrectionsAreAttributedOnTheBus) {
+  HarnessConfig config = level1_config(5);
+  config.client.wants_cs = false;
+  config.trace_capacity = 256;
+  SystemHarness h(config);
+  h.start();
+  h.run_for(100);
+  h.process(2).fault_set_state(me::TmeState::kHungry);
+  h.process(2).fault_set_req(clk::Timestamp{9, 0});  // foreign request
+  h.run_for(2 * config.local_wrapper.check_period);
+
+  bool found = false;
+  for (std::size_t i = 0; i < h.events().size(); ++i) {
+    const obs::Event& e = h.events().event(i);
+    if (e.kind != obs::EventKind::kLocalCorrection) continue;
+    found = true;
+    EXPECT_EQ(e.pid, 2u);
+    const std::string text = h.events().render(e);
+    EXPECT_NE(text.find("local-wrapper 2"), std::string::npos) << text;
+    EXPECT_NE(text.find("foreign-req"), std::string::npos) << text;
+  }
+  EXPECT_TRUE(found) << "no kLocalCorrection event retained on the bus";
+}
+
+}  // namespace
+}  // namespace graybox::core

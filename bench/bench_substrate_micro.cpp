@@ -10,8 +10,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
+#include <functional>
 #include <optional>
+#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/checks.hpp"
@@ -75,6 +79,164 @@ void BM_ChannelEnqueueDeliver(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_ChannelEnqueueDeliver);
+
+// --- Simulation-core hot path, before and after ------------------------------
+//
+// The scheduler was rebuilt from a (time, seq) binary heap with
+// std::function callbacks and hash-set cancellation into a bucketed time
+// wheel with inline-storage callbacks and generation-stamped slots; the
+// channel queue went from std::deque to a slot-reusing ring. These pairs
+// keep the "before" implementation alive inside the bench so the speedup
+// stays measurable on any machine: each side reports events_per_sec, and
+// the before/after ratio is a straight division of two JSON fields.
+
+// The pre-wheel scheduler core, reduced to its hot path: heap entries,
+// heap-allocated callbacks, tombstone skipping via a live-id map.
+class ReferenceSchedulerCore {
+ public:
+  using Id = std::uint64_t;
+
+  Id schedule_after(SimTime delay, std::function<void()> fn) {
+    const Id id = next_id_++;
+    queue_.push(Entry{now_ + delay, id});
+    fns_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  bool cancel(Id id) { return fns_.erase(id) > 0; }
+
+  bool step() {
+    while (!queue_.empty() && fns_.find(queue_.top().id) == fns_.end())
+      queue_.pop();
+    if (queue_.empty()) return false;
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto node = fns_.extract(e.id);
+    now_ = e.time;
+    auto fn = std::move(node.mapped());
+    fn();
+    return true;
+  }
+
+  SimTime now() const { return now_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    Id id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<Id, std::function<void()>> fns_;
+  SimTime now_ = 0;
+  Id next_id_ = 1;
+};
+
+// Shared workload for the scheduler-core pair: near events with a far-future
+// re-armed timer and a cancel stream — the engine's access pattern.
+template <class S, class Id>
+void scheduler_core_workload(S& sched, std::uint64_t& sink) {
+  Id timer = sched.schedule_after(5'000, [] {});
+  for (int i = 0; i < 64; ++i) {
+    sched.schedule_after(static_cast<SimTime>(i % 7), [&sink] { ++sink; });
+    if (i % 8 == 7) {
+      sched.cancel(timer);
+      timer = sched.schedule_after(5'000, [] {});
+    }
+  }
+  sched.cancel(timer);
+  while (sched.step()) {
+  }
+}
+
+void set_core_counters(benchmark::State& state, std::uint64_t per_iter) {
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(per_iter));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * per_iter),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SchedulerCore(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::uint64_t sink = 0;
+  for (auto _ : state)
+    scheduler_core_workload<sim::Scheduler, sim::EventId>(sched, sink);
+  benchmark::DoNotOptimize(sink);
+  set_core_counters(state, 64);
+  state.SetLabel("time wheel + inline callbacks (after)");
+}
+BENCHMARK(BM_SchedulerCore);
+
+void BM_SchedulerCoreReference(benchmark::State& state) {
+  ReferenceSchedulerCore sched;
+  std::uint64_t sink = 0;
+  for (auto _ : state)
+    scheduler_core_workload<ReferenceSchedulerCore, ReferenceSchedulerCore::Id>(
+        sched, sink);
+  benchmark::DoNotOptimize(sink);
+  set_core_counters(state, 64);
+  state.SetLabel("binary heap + std::function (before)");
+}
+BENCHMARK(BM_SchedulerCoreReference);
+
+void BM_ChannelEnqueue(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::uint64_t delivered = 0;
+  net::Channel channel(sched, net::DelayModel::fixed(1), Rng(1),
+                       [&](const net::Message&) { ++delivered; });
+  net::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.vc = clk::VectorClock(0, 12);  // realistic payload: a threaded clock
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      net::Message m = msg;
+      channel.enqueue(std::move(m));
+    }
+    while (sched.step()) {
+    }
+  }
+  benchmark::DoNotOptimize(delivered);
+  set_core_counters(state, 64);
+  state.SetLabel("message ring + move enqueue (after)");
+}
+BENCHMARK(BM_ChannelEnqueue);
+
+void BM_ChannelEnqueueReference(benchmark::State& state) {
+  // The pre-ring queue on the pre-wheel scheduler: deque chunk churn plus
+  // one heap-allocated tick callback per message.
+  ReferenceSchedulerCore sched;
+  std::uint64_t delivered = 0;
+  std::deque<net::Message> queue;
+  net::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.vc = clk::VectorClock(0, 12);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.push_back(msg);
+      sched.schedule_after(1, [&] {
+        if (queue.empty()) return;
+        net::Message m = std::move(queue.front());
+        queue.pop_front();
+        benchmark::DoNotOptimize(m);
+        ++delivered;
+      });
+    }
+    while (sched.step()) {
+    }
+  }
+  benchmark::DoNotOptimize(delivered);
+  set_core_counters(state, 64);
+  state.SetLabel("std::deque + copy enqueue (before)");
+}
+BENCHMARK(BM_ChannelEnqueueReference);
 
 void BM_RicartAgrawalaFullCycle(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -343,6 +505,10 @@ BENCHMARK(BM_EngineSmallCell)->Arg(1)->Arg(2);
 //                   one short measurement pass per benchmark)
 //   --json PATH  -> --benchmark_out=PATH; "--json -" suppresses the file
 //                   artifact entirely (console output only)
+//   --jobs N     -> accepted and ignored (microbenchmarks are inherently
+//                   sequential); CI reruns at --jobs 1 and --jobs 8 and
+//                   diffs the stripped artifacts to pin that the flag
+//                   cannot change the output
 int main(int argc, char** argv) {
   std::vector<std::string> translated;
   bool has_out = false;
@@ -359,6 +525,10 @@ int main(int argc, char** argv) {
       const double trials = std::max(1.0, std::atof(value_of("--trials").c_str()));
       translated.push_back("--benchmark_min_time=" +
                            std::to_string(0.05 * trials));
+      continue;
+    }
+    if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      (void)value_of("--jobs");
       continue;
     }
     if (arg == "--json" || arg.rfind("--json=", 0) == 0) {

@@ -2,47 +2,82 @@
 
 #include <algorithm>
 
-#include "common/contracts.hpp"
-
 namespace graybox::clk {
 
-VectorClock::VectorClock(ProcessId pid, std::size_t n)
-    : components_(n, 0), pid_(pid) {
+VectorClock::VectorClock(ProcessId pid, std::size_t n) : pid_(pid) {
   GBX_EXPECTS(pid < n);
+  size_ = static_cast<std::uint32_t>(n);
+  if (n > kInlineComponents) heap_ = std::make_unique<std::uint64_t[]>(n);
+  std::fill_n(data(), n, 0);
+}
+
+void VectorClock::copy_from(const VectorClock& other) {
+  if (other.size_ > kInlineComponents) {
+    // Reuse an existing heap block of the right size instead of
+    // reallocating (clocks in a system all share one n).
+    if (!heap_ || size_ != other.size_)
+      heap_ = std::make_unique<std::uint64_t[]>(other.size_);
+  } else {
+    heap_.reset();
+  }
+  size_ = other.size_;
+  pid_ = other.pid_;
+  std::copy_n(other.data(), size_, data());
+}
+
+void VectorClock::move_from(VectorClock& other) noexcept {
+  heap_ = std::move(other.heap_);
+  size_ = other.size_;
+  pid_ = other.pid_;
+  if (!heap_) std::copy_n(other.inline_, size_, inline_);
+  other.size_ = 0;
+  other.pid_ = 0;
 }
 
 void VectorClock::tick() {
-  GBX_EXPECTS(!components_.empty());
-  ++components_[pid_];
+  GBX_EXPECTS(size_ > 0);
+  ++data()[pid_];
 }
 
 void VectorClock::witness(const VectorClock& other) {
-  GBX_EXPECTS(other.components_.size() == components_.size());
-  for (std::size_t i = 0; i < components_.size(); ++i)
-    components_[i] = std::max(components_[i], other.components_[i]);
+  GBX_EXPECTS(other.size_ == size_);
+  std::uint64_t* mine = data();
+  const std::uint64_t* theirs = other.data();
+  for (std::size_t i = 0; i < size_; ++i)
+    mine[i] = std::max(mine[i], theirs[i]);
   tick();
 }
 
 bool VectorClock::happened_before(const VectorClock& other) const {
-  GBX_EXPECTS(other.components_.size() == components_.size());
+  GBX_EXPECTS(other.size_ == size_);
+  const std::uint64_t* mine = data();
+  const std::uint64_t* theirs = other.data();
   bool some_strict = false;
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    if (components_[i] > other.components_[i]) return false;
-    if (components_[i] < other.components_[i]) some_strict = true;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (mine[i] > theirs[i]) return false;
+    if (mine[i] < theirs[i]) some_strict = true;
   }
   return some_strict;
 }
 
 bool VectorClock::concurrent_with(const VectorClock& other) const {
-  return !happened_before(other) && !other.happened_before(*this) &&
-         components_ != other.components_;
+  if (happened_before(other) || other.happened_before(*this)) return false;
+  return !std::equal(data(), data() + size_, other.data(),
+                     other.data() + other.size_);
+}
+
+bool operator==(const VectorClock& a, const VectorClock& b) {
+  // Same observable semantics as the old vector-backed default: equal
+  // components and equal owner.
+  return a.pid_ == b.pid_ && a.size_ == b.size_ &&
+         std::equal(a.data(), a.data() + a.size_, b.data());
 }
 
 std::string VectorClock::to_string() const {
   std::string out = "<";
-  for (std::size_t i = 0; i < components_.size(); ++i) {
+  for (std::size_t i = 0; i < size_; ++i) {
     if (i > 0) out += ",";
-    out += std::to_string(components_[i]);
+    out += std::to_string(data()[i]);
   }
   out += ">";
   return out;

@@ -12,11 +12,11 @@ Channel::Channel(sim::Scheduler& sched, DelayModel delay, Rng rng,
   GBX_EXPECTS(deliver_ != nullptr);
 }
 
-void Channel::enqueue(const Message& msg) {
+void Channel::enqueue(Message&& msg) {
   const SimTime arrival =
       std::max(sched_.now() + delay_.sample(rng_), last_arrival_);
   last_arrival_ = arrival;
-  queue_.push_back(msg);
+  queue_.push_back(std::move(msg));
   adjust_in_flight(+1);
   ++enqueued_;
   schedule_tick(arrival);
@@ -29,8 +29,7 @@ void Channel::schedule_tick(SimTime arrival) {
 void Channel::on_tick(std::uint64_t epoch) {
   if (epoch != epoch_) return;  // scheduled before a fault_clear: stale
   if (queue_.empty()) return;  // message was dropped by a fault
-  Message msg = std::move(queue_.front());
-  queue_.pop_front();
+  Message msg = queue_.pop_front();
   adjust_in_flight(-1);
   ++delivered_;
   deliver_(msg);
@@ -38,7 +37,7 @@ void Channel::on_tick(std::uint64_t epoch) {
 
 void Channel::fault_drop(std::size_t index) {
   GBX_EXPECTS(index < queue_.size());
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  queue_.erase(index);
   adjust_in_flight(-1);
   ++dropped_by_fault_;
 }
@@ -46,7 +45,7 @@ void Channel::fault_drop(std::size_t index) {
 void Channel::fault_duplicate(std::size_t index) {
   GBX_EXPECTS(index < queue_.size());
   const Message copy = queue_[index];
-  queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(index) + 1, copy);
+  queue_.insert(index + 1, copy);
   adjust_in_flight(+1);
   // The duplicate needs its own delivery tick; deliver it no earlier than
   // the queue tail's nominal arrival to keep tick counts consistent, and

@@ -25,12 +25,12 @@
 //     freshly constructed one.
 #pragma once
 
-#include <deque>
 #include <functional>
 
 #include "common/rng.hpp"
 #include "net/delay.hpp"
 #include "net/message.hpp"
+#include "net/message_ring.hpp"
 #include "sim/scheduler.hpp"
 
 namespace graybox::net {
@@ -45,14 +45,18 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Normal-path send: append and schedule a FIFO delivery tick.
-  void enqueue(const Message& msg);
+  /// Normal-path send: append and schedule a FIFO delivery tick. The
+  /// rvalue overload moves the message into its ring slot (Network::send
+  /// builds the message once and hands it off without a copy).
+  void enqueue(Message&& msg);
+  void enqueue(const Message& msg) { enqueue(Message(msg)); }
 
   std::size_t in_flight() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
 
-  /// Read-only view of the in-flight messages, oldest first (monitors).
-  const std::deque<Message>& contents() const { return queue_; }
+  /// Read-only live view of the in-flight messages, oldest first
+  /// (monitors and the fault injector); indexes like the deque it shims.
+  MessageView contents() const { return MessageView(queue_); }
 
   // --- Fault surface (used by FaultInjector and scenario tests) ---------
 
@@ -117,7 +121,7 @@ class Channel {
   DelayModel delay_;
   Rng rng_;
   DeliverFn deliver_;
-  std::deque<Message> queue_;
+  MessageRing queue_;
   /// Arrival time of the most recently scheduled delivery tick (normal or
   /// fault-made); enforces FIFO monotonicity of scheduled ticks.
   SimTime last_arrival_ = 0;

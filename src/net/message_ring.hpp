@@ -1,0 +1,145 @@
+// Power-of-two ring buffer of in-flight messages.
+//
+// A channel's queue sees push_back (enqueue) and pop_front (delivery tick)
+// on every simulated message — the std::deque it replaces paid a chunked
+// heap allocation every few messages on exactly that hot pair. The ring
+// reuses its slots forever once grown (messages are assigned into existing
+// slots, and with inline vector clocks assignment allocates nothing), so
+// steady-state traffic is allocation-free. The fault surface's positional
+// operations (erase / insert / swap / indexing) are O(queue length) shifts,
+// which is fine: faults are rare events by construction.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "net/message.hpp"
+
+namespace graybox::net {
+
+class MessageRing {
+ public:
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  const Message& operator[](std::size_t i) const {
+    GBX_EXPECTS(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  Message& operator[](std::size_t i) {
+    GBX_EXPECTS(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  const Message& front() const { return (*this)[0]; }
+  const Message& back() const { return (*this)[count_ - 1]; }
+  Message& back() { return (*this)[count_ - 1]; }
+
+  void push_back(Message&& msg) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = std::move(msg);
+    ++count_;
+  }
+  void push_back(const Message& msg) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = msg;
+    ++count_;
+  }
+
+  Message pop_front() {
+    GBX_EXPECTS(count_ > 0);
+    Message out = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return out;
+  }
+
+  /// Insert before position `index` (0 == new front), shifting the tail.
+  void insert(std::size_t index, const Message& msg) {
+    GBX_EXPECTS(index <= count_);
+    if (count_ == buf_.size()) grow();
+    ++count_;
+    for (std::size_t i = count_ - 1; i > index; --i)
+      (*this)[i] = std::move((*this)[i - 1]);
+    (*this)[index] = msg;
+  }
+
+  /// Remove the message at `index`, shifting the tail left.
+  void erase(std::size_t index) {
+    GBX_EXPECTS(index < count_);
+    for (std::size_t i = index; i + 1 < count_; ++i)
+      (*this)[i] = std::move((*this)[i + 1]);
+    --count_;
+  }
+
+  /// Drop everything; slots (and their inline storage) are kept for reuse.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<Message> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<Message> buf_;  // capacity is always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+/// Read-only live view over a channel's in-flight queue, oldest first.
+/// Monitors and the fault injector index it exactly like the deque it
+/// replaced; the view stays coherent across enqueues/deliveries because it
+/// reads through the ring rather than snapshotting it.
+class MessageView {
+ public:
+  explicit MessageView(const MessageRing& ring) : ring_(&ring) {}
+
+  std::size_t size() const { return ring_->size(); }
+  bool empty() const { return ring_->empty(); }
+  const Message& operator[](std::size_t i) const { return (*ring_)[i]; }
+  const Message& front() const { return ring_->front(); }
+  const Message& back() const { return ring_->back(); }
+
+  class const_iterator {
+   public:
+    using value_type = Message;
+    using difference_type = std::ptrdiff_t;
+    const_iterator(const MessageRing* ring, std::size_t i)
+        : ring_(ring), i_(i) {}
+    const Message& operator*() const { return (*ring_)[i_]; }
+    const Message* operator->() const { return &(*ring_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    friend bool operator==(const const_iterator&,
+                           const const_iterator&) = default;
+
+   private:
+    const MessageRing* ring_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return {ring_, 0}; }
+  const_iterator end() const { return {ring_, ring_->size()}; }
+
+ private:
+  const MessageRing* ring_;
+};
+
+}  // namespace graybox::net

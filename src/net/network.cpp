@@ -109,7 +109,7 @@ void Network::send(ProcessId from, ProcessId to, MsgType type,
     return;
   }
 
-  channel(from, to).enqueue(msg);
+  channel(from, to).enqueue(std::move(msg));
 }
 
 void Network::set_partition(std::uint64_t mask) {

@@ -1,0 +1,134 @@
+// Small-buffer-optimized callable for the simulation hot path.
+//
+// Every simulated event carries a callback; with std::function those
+// callbacks are the dominant per-event allocation (libstdc++ only stores
+// captures <= 16 bytes inline, and even inline storage pays a virtual-ish
+// manager dispatch on destruction). InplaceFunction stores any callable
+// whose captures fit `Capacity` bytes directly in the object — every event
+// callback in src/ today captures at most {this, two scalars}, far under
+// the 48-byte default — and falls back to the heap only for oversized
+// callables (test conveniences), so steady-state scheduling allocates
+// nothing. Move-only: events are scheduled once and executed once, so
+// copyability would only invite accidental capture copies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace graybox::sim {
+
+template <class Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <class R, class... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= Capacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (storage()) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InplaceFunction& f, std::nullptr_t) {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const InplaceFunction& f, std::nullptr_t) {
+    return f.ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr Ops inline_ops = {
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(static_cast<D*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D* from = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { std::launder(static_cast<D*>(s))->~D(); }};
+
+  template <class D>
+  static constexpr Ops heap_ops = {
+      [](void* s, Args&&... args) -> R {
+        return (**std::launder(static_cast<D**>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        // Pointers are trivially destructible; relocation is a raw copy.
+        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* s) { delete *std::launder(static_cast<D**>(s)); }};
+
+  void* storage() { return &storage_; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage(), other.storage());
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace graybox::sim

@@ -11,19 +11,39 @@
 // Monitors (src/spec, src/lspec) attach as observers and are invoked after
 // every executed event, which gives them the per-step global snapshots that
 // the UNITY operators (unless / stable / leads-to) are defined over.
+//
+// Hot-path layout (the simulator substrate is the dominant cost of every
+// BENCH_* grid, so the core is allocation-free in steady state):
+//
+//   * Callbacks are InplaceFunction<void(), 48> — captures up to 48 bytes
+//     live inside the event slot, so scheduling allocates nothing.
+//   * Events live in a two-level bucketed time wheel. Near events
+//     (time - wheel base < kWheelSize) go into per-tick FIFO buckets —
+//     append order IS insertion order, which preserves the deterministic
+//     equal-time tiebreak without any comparator. Far events overflow into
+//     a (time, seq) min-heap spill level and are promoted into buckets,
+//     in insertion order, when the wheel base advances — and the base only
+//     advances past a tick once no event can be scheduled at it anymore,
+//     so promoted events always precede later direct inserts at the same
+//     tick. Execution order is therefore bit-identical to the previous
+//     binary-heap implementation.
+//   * Event slots are generation-stamped and recycled through a free list:
+//     an EventId is (generation << 32 | slot), so cancel() is a single
+//     array probe — no hashing, no tombstone set. Queue entries whose
+//     generation no longer matches their slot are stale and skipped.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/inplace_function.hpp"
 
 namespace graybox::sim {
 
 /// Handle for a scheduled event; usable with Scheduler::cancel.
+/// Encodes (generation << 32 | slot); 0 is never a valid handle.
 using EventId = std::uint64_t;
 
 /// Handle for a registered observer; usable with Scheduler::remove_observer.
@@ -31,11 +51,15 @@ using ObserverId = std::uint64_t;
 
 class Scheduler {
  public:
-  using EventFn = std::function<void()>;
-  /// Observers run after each executed event with the current time.
-  using Observer = std::function<void(SimTime)>;
+  /// Event callbacks: captures <= 48 bytes are stored inline in the event
+  /// slot (every callback in src/ fits), larger ones fall back to the heap.
+  using EventFn = InplaceFunction<void(), 48>;
+  /// Observers run after each executed event with the current time. Same
+  /// inline-storage dispatch as EventFn: the per-event observer fan-out is
+  /// on the hot path, so it must not bounce through std::function.
+  using Observer = InplaceFunction<void(SimTime), 48>;
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -50,11 +74,11 @@ class Scheduler {
   EventId schedule_after(SimTime delay, EventFn fn);
 
   /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or never existed.
+  /// cancelled, or never existed. O(1): one slot probe, no hashing.
   bool cancel(EventId id);
 
   /// Execute the single earliest pending event. Returns false when idle.
-  bool step();
+  bool step() { return step_bounded(kNever); }
 
   /// Execute every event with time <= t, then set now to t.
   void run_until(SimTime t);
@@ -67,8 +91,8 @@ class Scheduler {
   /// experiment in this repository legitimately schedules that many).
   void run_all(std::uint64_t max_events = 50'000'000);
 
-  bool idle() const { return pending_ids_.empty(); }
-  std::size_t pending() const { return pending_ids_.size(); }
+  bool idle() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
 
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
@@ -84,22 +108,51 @@ class Scheduler {
 
   std::size_t observer_count() const;
 
-  /// Cancelled-but-not-yet-reclaimed events. Cancellation is lazy (the
-  /// queue entry stays until popped or compacted); compaction in cancel()
-  /// keeps this bounded by the live event count, so long engine runs that
-  /// cancel far-future timers repeatedly cannot leak.
-  std::size_t tombstones() const { return cancelled_.size(); }
+  /// Cancelled-but-not-yet-reclaimed queue entries. Cancellation itself is
+  /// O(1) (the slot is freed immediately; only the 8-byte queue entry
+  /// lingers until visited); spill-level compaction keeps this bounded by
+  /// the live event count, so long engine runs that cancel far-future
+  /// timers repeatedly cannot leak.
+  std::size_t tombstones() const { return bucket_stale_ + spill_stale_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;  // doubles as the FIFO tiebreaker at equal times
+  static constexpr std::size_t kWheelBits = 10;
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kBitmapWords = kWheelSize / 64;
+
+  /// One allocated event. `gen` increments every time the slot is freed
+  /// (cancel or execution), invalidating any queue entry that still points
+  /// here with the old generation.
+  struct Slot {
     EventFn fn;
+    std::uint32_t gen = 1;
+    bool in_spill = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+  /// Wheel bucket entry: 8 bytes, validated against the slot's generation.
+  struct BucketEntry {
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  /// Per-tick FIFO bucket. `head` indexes the next unconsumed entry so a
+  /// partially drained bucket never shifts its tail.
+  struct Bucket {
+    std::vector<BucketEntry> entries;
+    std::size_t head = 0;
+  };
+  /// Spill-level entry for events beyond the wheel horizon. `seq` is the
+  /// global insertion tiebreaker (the wheel itself needs none: bucket
+  /// append order is insertion order).
+  struct SpillEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct SpillLater {
+    bool operator()(const SpillEntry& a, const SpillEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
   struct ObserverSlot {
@@ -107,18 +160,58 @@ class Scheduler {
     Observer fn;  // empty after removal
   };
 
-  void execute(Entry entry);
-  /// Rebuild the queue without the cancelled entries once tombstones
-  /// outnumber live events (amortized O(1) per cancel).
-  void compact_if_worthwhile();
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;  // lazy-deletion tombstones
+  bool bucket_occupied(std::size_t idx) const {
+    return (occupied_[idx >> 6] >> (idx & 63)) & 1u;
+  }
+  void mark_occupied(std::size_t idx) {
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  void clear_occupied(std::size_t idx) {
+    occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+  /// Circular distance (in ticks) from the wheel base to the first occupied
+  /// bucket, or kWheelSize when the wheel is empty.
+  std::size_t next_occupied_distance() const;
+
+  /// Move every spill event with time < wheel_base_ + kWheelSize into its
+  /// bucket, in (time, seq) order.
+  void promote_spill();
+  /// With no live event in the wheel, jump the base to the earliest live
+  /// spill time and promote.
+  void advance_to_spill();
+  /// Rebuild the spill heap without stale entries once they outnumber live
+  /// ones (amortized O(1) per cancel).
+  void compact_spill_if_worthwhile();
+  /// Drop every stale queue entry (wheel + spill). Called when the last
+  /// live event is gone so an idle scheduler holds no tombstones.
+  void purge_stale();
+
+  /// Execute the earliest pending event if its time is <= limit.
+  bool step_bounded(SimTime limit);
+  void dispatch_observers();
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Bucket> buckets_;
+  std::array<std::uint64_t, kBitmapWords> occupied_{};
+  std::vector<SpillEntry> spill_;  // binary heap ordered by SpillLater
+  /// Lowest simulated time currently mapped by the wheel. Never advances
+  /// past a pending wheel event; always <= now_.
+  SimTime wheel_base_ = 0;
+  std::size_t live_ = 0;        // pending events, wheel + spill
+  std::size_t wheel_live_ = 0;  // pending events currently in buckets
+  std::size_t bucket_stale_ = 0;
+  std::size_t spill_stale_ = 0;
+  std::uint64_t next_seq_ = 1;
   std::vector<ObserverSlot> observers_;
   bool dispatching_observers_ = false;
   SimTime now_ = 0;
-  EventId next_id_ = 1;
   ObserverId next_observer_id_ = 1;
   std::uint64_t executed_ = 0;
 };

@@ -180,5 +180,89 @@ TEST(VectorClock, ToString) {
   EXPECT_EQ(vc.to_string(), "<1,0,0>");
 }
 
+// --- Inline/heap storage boundary ------------------------------------------
+//
+// Clocks keep their component array inline up to kInlineComponents and fall
+// back to the heap beyond it. The representation must be invisible: every
+// observable behaviour has to be identical one below, exactly at, and one
+// above the boundary.
+
+class VectorClockBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VectorClockBoundary, TickWitnessRoundTrip) {
+  const std::size_t n = GetParam();
+  VectorClock a(0, n), b(n - 1, n);
+  for (int i = 0; i < 5; ++i) a.tick();
+  b.witness(a);
+  EXPECT_EQ(a.size(), n);
+  EXPECT_EQ(b.size(), n);
+  EXPECT_EQ(b.component(0), 5u);  // merged from a's 5 ticks
+  EXPECT_EQ(b.component(n - 1), 1u);  // witness ticks b's own component
+  for (std::size_t i = 1; i + 1 < n; ++i) EXPECT_EQ(b.component(i), 0u);
+}
+
+TEST_P(VectorClockBoundary, CopyMoveAndEqualityRoundTrip) {
+  const std::size_t n = GetParam();
+  VectorClock a(0, n);
+  for (int i = 0; i < 3; ++i) a.tick();
+
+  VectorClock copy = a;  // copy-construct
+  EXPECT_TRUE(copy == a);
+  VectorClock assigned(1, n);
+  assigned = a;  // copy-assign across owners
+  EXPECT_TRUE(assigned == a);
+
+  VectorClock moved = std::move(copy);  // move-construct
+  EXPECT_TRUE(moved == a);
+  VectorClock move_assigned(1, n);
+  move_assigned = std::move(assigned);
+  EXPECT_TRUE(move_assigned == a);
+
+  // components() must expose exactly n live values.
+  const auto span = moved.components();
+  ASSERT_EQ(span.size(), n);
+  EXPECT_EQ(span[0], 3u);
+  EXPECT_EQ(span[n - 1], 0u);
+}
+
+TEST_P(VectorClockBoundary, HappenedBeforeAndConcurrency) {
+  const std::size_t n = GetParam();
+  VectorClock a(0, n), b(n / 2, n);
+  a.tick();
+  const VectorClock at_send = a;
+  b.witness(a);
+  EXPECT_TRUE(at_send.happened_before(b));
+  EXPECT_FALSE(b.happened_before(at_send));
+
+  VectorClock c(n - 1, n);
+  c.tick();
+  EXPECT_TRUE(c.concurrent_with(at_send));
+  EXPECT_TRUE(at_send.concurrent_with(c));
+}
+
+TEST_P(VectorClockBoundary, CrossSizeAssignmentRebinds) {
+  // Assigning across the boundary in both directions must land on the
+  // target size's storage mode with the source's values.
+  const std::size_t n = GetParam();
+  VectorClock small(0, 2);
+  small.tick();
+  VectorClock sized(1, n);
+  sized.tick();
+  small = sized;  // possibly inline -> heap
+  EXPECT_EQ(small.size(), n);
+  EXPECT_EQ(small.component(1), 1u);
+  VectorClock two(0, 2);
+  two.tick();
+  sized = two;  // possibly heap -> inline
+  EXPECT_EQ(sized.size(), 2u);
+  EXPECT_EQ(sized.component(0), 1u);
+  EXPECT_TRUE(sized == two);
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundInlineCapacity, VectorClockBoundary,
+                         ::testing::Values(VectorClock::kInlineComponents - 1,
+                                           VectorClock::kInlineComponents,
+                                           VectorClock::kInlineComponents + 1));
+
 }  // namespace
 }  // namespace graybox::clk

@@ -218,6 +218,103 @@ TEST_F(ChannelTest, AccountingCounters) {
   EXPECT_EQ(ch->delivered(), 2u);
 }
 
+// --- Message ring wraparound -------------------------------------------------
+//
+// The queue behind a channel is a ring buffer whose head walks forward with
+// every delivery; once traffic exceeds the initial capacity the logical
+// queue straddles the physical wrap point. These tests park the queue in
+// that wrapped state and then exercise the positional fault surface, which
+// is exactly where an index-translation bug would corrupt order.
+
+TEST_F(ChannelTest, RingWraparoundKeepsFifoUnderSustainedTraffic) {
+  auto ch = make_channel(DelayModel::fixed(3));
+  // Interleave enqueue/deliver far past any power-of-two capacity so the
+  // head wraps many times while the queue stays short.
+  std::uint64_t next = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 7; ++i) ch->enqueue(make_msg(0, 1, next++));
+    sched.run_for(2);  // partial drains keep a straddling backlog
+  }
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), next);
+  for (std::uint64_t i = 0; i < next; ++i)
+    EXPECT_EQ(delivered[i].ts.counter, i);
+}
+
+TEST_F(ChannelTest, FaultSwapOnWrappedQueue) {
+  auto ch = make_channel(DelayModel::fixed(100));
+  // Wrap the head: push/pop cycles move head_ near the end of the initial
+  // 8-slot block, then leave a backlog that straddles the boundary.
+  for (std::uint64_t i = 0; i < 6; ++i) ch->enqueue(make_msg(0, 1, i));
+  sched.run_all();  // head has advanced 6 slots
+  delivered.clear();
+  for (std::uint64_t i = 0; i < 6; ++i)
+    ch->enqueue(make_msg(0, 1, 100 + i));  // physically wraps
+  ch->fault_swap(0, 5);  // swap across the physical wrap point
+  const auto view = ch->contents();
+  EXPECT_EQ(view[0].ts.counter, 105u);
+  EXPECT_EQ(view[5].ts.counter, 100u);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 6u);
+  EXPECT_EQ(delivered[0].ts.counter, 105u);
+  EXPECT_EQ(delivered[5].ts.counter, 100u);
+  for (std::uint64_t i = 1; i < 5; ++i)
+    EXPECT_EQ(delivered[i].ts.counter, 100 + i);
+}
+
+TEST_F(ChannelTest, FaultDropAndDuplicateOnWrappedQueue) {
+  auto ch = make_channel(DelayModel::fixed(100));
+  for (std::uint64_t i = 0; i < 5; ++i) ch->enqueue(make_msg(0, 1, i));
+  sched.run_all();
+  delivered.clear();
+  for (std::uint64_t i = 0; i < 6; ++i) ch->enqueue(make_msg(0, 1, 200 + i));
+  ch->fault_drop(4);          // erase shifts across the wrap
+  ch->fault_duplicate(1);     // insert shifts across the wrap
+  const auto view = ch->contents();
+  ASSERT_EQ(view.size(), 6u);
+  EXPECT_EQ(view[1].ts.counter, 201u);
+  EXPECT_EQ(view[2].ts.counter, 201u);  // the duplicate, right behind
+  EXPECT_EQ(view[3].ts.counter, 202u);
+  EXPECT_EQ(view[4].ts.counter, 203u);
+  EXPECT_EQ(view[5].ts.counter, 205u);  // 204 was dropped
+  sched.run_all();
+  EXPECT_EQ(delivered.size(), 6u);
+}
+
+TEST_F(ChannelTest, FaultClearThenRefillOnWrappedQueue) {
+  auto ch = make_channel(DelayModel::fixed(10));
+  for (std::uint64_t i = 0; i < 7; ++i) ch->enqueue(make_msg(0, 1, i));
+  sched.run_all();
+  delivered.clear();
+  for (std::uint64_t i = 0; i < 5; ++i) ch->enqueue(make_msg(0, 1, 300 + i));
+  ch->fault_clear();  // resets the ring while wrapped
+  EXPECT_TRUE(ch->contents().empty());
+  for (std::uint64_t i = 0; i < 10; ++i) ch->enqueue(make_msg(0, 1, 400 + i));
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    EXPECT_EQ(delivered[i].ts.counter, 400 + i);
+}
+
+TEST_F(ChannelTest, FaultInjectGrowsWrappedQueue) {
+  auto ch = make_channel(DelayModel::fixed(100));
+  for (std::uint64_t i = 0; i < 6; ++i) ch->enqueue(make_msg(0, 1, i));
+  sched.run_all();
+  delivered.clear();
+  // Fill past the physical capacity with the head mid-block: push_back has
+  // to grow and linearize a wrapped queue without reordering it.
+  for (std::uint64_t i = 0; i < 9; ++i) ch->enqueue(make_msg(0, 1, 500 + i));
+  ch->fault_inject(make_msg(0, 1, 999));
+  const auto view = ch->contents();
+  ASSERT_EQ(view.size(), 10u);
+  for (std::uint64_t i = 0; i < 9; ++i)
+    EXPECT_EQ(view[i].ts.counter, 500 + i);
+  EXPECT_EQ(view.back().ts.counter, 999u);
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 10u);
+  EXPECT_EQ(delivered.back().ts.counter, 999u);
+}
+
 // --- Network -----------------------------------------------------------------
 
 class NetworkTest : public ::testing::Test {

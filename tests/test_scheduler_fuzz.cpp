@@ -1,0 +1,324 @@
+// Equivalence fuzzing for the time-wheel scheduler.
+//
+// The production Scheduler is a two-level bucketed time wheel with
+// generation-stamped slots; its specification is much simpler: execute
+// events in (time, insertion-order) order. ReferenceScheduler below *is*
+// that specification — the binary-heap implementation the wheel replaced,
+// retained here as an executable oracle. Each fuzz iteration generates one
+// random operation trace (schedule bursts at equal times, cancels,
+// far-future events beyond the wheel horizon, timers that re-arm from
+// inside their own callback, partial runs) and replays it against both
+// implementations, requiring identical execution order, times, cancel
+// results, and counters at every checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace graybox::sim {
+namespace {
+
+// --- The executable specification ------------------------------------------
+
+// (time, insertion-seq) binary heap + map of live callbacks, mirroring the
+// pre-wheel implementation: cancel removes the callback and leaves a
+// tombstoned heap entry behind; stale entries are skipped when reached.
+class ReferenceScheduler {
+ public:
+  using Id = std::uint64_t;
+
+  SimTime now() const { return now_; }
+
+  Id schedule_at(SimTime t, std::function<void()> fn) {
+    EXPECT_GE(t, now_);
+    const Id id = next_id_++;
+    queue_.push(Entry{t, id});
+    fns_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  Id schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(Id id) { return fns_.erase(id) > 0; }
+
+  bool step() {
+    skim();
+    if (queue_.empty()) return false;
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto node = fns_.extract(e.id);
+    now_ = e.time;
+    ++executed_;
+    auto fn = std::move(node.mapped());
+    fn();
+    return true;
+  }
+
+  void run_until(SimTime t) {
+    for (;;) {
+      skim();
+      if (queue_.empty() || queue_.top().time > t) break;
+      step();
+    }
+    now_ = t;
+  }
+
+  void run_for(SimTime duration) { run_until(now_ + duration); }
+
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+  bool idle() const { return fns_.empty(); }
+  std::size_t pending() const { return fns_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    Id id;  // ids increase monotonically, so id order is insertion order
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void skim() {
+    while (!queue_.empty() && fns_.find(queue_.top().id) == fns_.end())
+      queue_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<Id, std::function<void()>> fns_;
+  SimTime now_ = 0;
+  Id next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+// --- Trace generation -------------------------------------------------------
+
+struct Op {
+  enum Kind {
+    kSchedule,  // a: delay, b: re-arm delay (0 = plain event)
+    kCancel,    // idx: index into the ids scheduled so far
+    kStep,
+    kRunUntil,  // a: duration past now
+    kRunAll,
+  } kind;
+  SimTime a = 0;
+  SimTime b = 0;
+  std::size_t idx = 0;
+};
+
+// Delay mix spanning every wheel regime: equal-time bursts (0), in-wheel
+// (< 1024), straddling the horizon, and deep spill territory.
+SimTime random_delay(std::mt19937_64& rng) {
+  switch (rng() % 10) {
+    case 0:
+    case 1:
+    case 2:
+      return 0;
+    case 3:
+    case 4:
+      return rng() % 8;
+    case 5:
+    case 6:
+      return rng() % 300;
+    case 7:
+      return 900 + rng() % 300;  // straddles the 1024-tick wheel horizon
+    case 8:
+      return 1000 + rng() % 5000;
+    default:
+      return 100'000 + rng() % 2'000'000;
+  }
+}
+
+std::vector<Op> random_trace(std::uint64_t seed, std::size_t length) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    Op op;
+    const auto roll = rng() % 100;
+    if (roll < 50) {
+      op.kind = Op::kSchedule;
+      op.a = random_delay(rng);
+      op.b = (rng() % 4 == 0) ? 1 + random_delay(rng) : 0;
+    } else if (roll < 65) {
+      op.kind = Op::kCancel;
+      op.idx = rng();
+    } else if (roll < 80) {
+      op.kind = Op::kStep;
+    } else if (roll < 97) {
+      op.kind = Op::kRunUntil;
+      op.a = random_delay(rng);
+    } else {
+      op.kind = Op::kRunAll;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// --- Trace replay ------------------------------------------------------------
+
+struct Trace {
+  std::vector<std::pair<int, SimTime>> log;  // (label, execution time)
+  std::vector<bool> cancel_results;
+  std::vector<std::uint64_t> checkpoints;  // executed() after each op
+  std::uint64_t executed = 0;
+  std::size_t pending = 0;
+  SimTime now = 0;
+};
+
+// Replays `ops` against scheduler type S. Labels are assigned in scheduling
+// order (including re-arms fired from inside callbacks), so two replays
+// whose execution orders match assign identical labels throughout; any
+// divergence surfaces as a log mismatch.
+template <class S, class Id>
+Trace replay(const std::vector<Op>& ops) {
+  S sched;
+  Trace trace;
+  std::vector<Id> ids;
+  int next_label = 0;
+
+  std::function<void(SimTime, SimTime)> schedule_one = [&](SimTime delay,
+                                                           SimTime rearm) {
+    const int label = next_label++;
+    ids.push_back(sched.schedule_after(delay, [&trace, &sched, &schedule_one,
+                                               label, rearm] {
+      trace.log.emplace_back(label, sched.now());
+      if (rearm > 0) schedule_one(rearm, 0);
+    }));
+  };
+
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kSchedule:
+        schedule_one(op.a, op.b);
+        break;
+      case Op::kCancel:
+        if (!ids.empty())
+          trace.cancel_results.push_back(sched.cancel(ids[op.idx % ids.size()]));
+        break;
+      case Op::kStep:
+        sched.step();
+        break;
+      case Op::kRunUntil:
+        sched.run_until(sched.now() + op.a);
+        break;
+      case Op::kRunAll:
+        sched.run_all();
+        break;
+    }
+    trace.checkpoints.push_back(sched.executed());
+  }
+  sched.run_all();
+  trace.executed = sched.executed();
+  trace.pending = sched.pending();
+  trace.now = sched.now();
+  return trace;
+}
+
+void expect_equivalent(std::uint64_t seed, std::size_t length) {
+  const auto ops = random_trace(seed, length);
+  const Trace wheel = replay<Scheduler, EventId>(ops);
+  const Trace ref = replay<ReferenceScheduler, ReferenceScheduler::Id>(ops);
+
+  ASSERT_EQ(wheel.log.size(), ref.log.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < wheel.log.size(); ++i) {
+    EXPECT_EQ(wheel.log[i].first, ref.log[i].first)
+        << "seed " << seed << " divergence at event " << i;
+    EXPECT_EQ(wheel.log[i].second, ref.log[i].second)
+        << "seed " << seed << " time divergence at event " << i;
+    if (wheel.log[i] != ref.log[i]) return;  // report first divergence only
+  }
+  EXPECT_EQ(wheel.cancel_results, ref.cancel_results) << "seed " << seed;
+  EXPECT_EQ(wheel.checkpoints, ref.checkpoints) << "seed " << seed;
+  EXPECT_EQ(wheel.executed, ref.executed) << "seed " << seed;
+  EXPECT_EQ(wheel.pending, ref.pending) << "seed " << seed;
+  EXPECT_EQ(wheel.now, ref.now) << "seed " << seed;
+  EXPECT_EQ(wheel.pending, 0u);  // run_all drained both
+}
+
+// --- Tests -------------------------------------------------------------------
+
+TEST(SchedulerFuzz, MatchesReferenceAcrossManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed)
+    expect_equivalent(seed, 400);
+}
+
+TEST(SchedulerFuzz, LongTraces) {
+  for (std::uint64_t seed = 1000; seed <= 1010; ++seed)
+    expect_equivalent(seed, 5000);
+}
+
+TEST(SchedulerFuzz, EqualTimeBurstHeavy) {
+  // All-zero delays: everything lands on one tick; pure insertion-order
+  // stress with interleaved cancels.
+  std::mt19937_64 rng(42);
+  std::vector<Op> ops;
+  for (int i = 0; i < 2000; ++i) {
+    Op op;
+    const auto roll = rng() % 10;
+    if (roll < 6) {
+      op.kind = Op::kSchedule;
+      op.a = 0;
+      op.b = (roll == 0) ? 1 : 0;
+    } else if (roll < 8) {
+      op.kind = Op::kCancel;
+      op.idx = rng();
+    } else {
+      op.kind = Op::kStep;
+    }
+    ops.push_back(op);
+  }
+  const Trace wheel = replay<Scheduler, EventId>(ops);
+  const Trace ref = replay<ReferenceScheduler, ReferenceScheduler::Id>(ops);
+  EXPECT_EQ(wheel.log, ref.log);
+  EXPECT_EQ(wheel.cancel_results, ref.cancel_results);
+  EXPECT_EQ(wheel.executed, ref.executed);
+}
+
+TEST(SchedulerFuzz, FarFutureRearmedTimers) {
+  // Timers that repeatedly re-arm far beyond the wheel horizon, with the
+  // occasional cancel — the engine's timeout-tuning access pattern.
+  std::mt19937_64 rng(7);
+  std::vector<Op> ops;
+  for (int i = 0; i < 600; ++i) {
+    Op op;
+    const auto roll = rng() % 10;
+    if (roll < 4) {
+      op.kind = Op::kSchedule;
+      op.a = 2000 + rng() % 100'000;
+      op.b = 2000 + rng() % 100'000;
+    } else if (roll < 7) {
+      op.kind = Op::kCancel;
+      op.idx = rng();
+    } else {
+      op.kind = Op::kRunUntil;
+      op.a = rng() % 50'000;
+    }
+    ops.push_back(op);
+  }
+  const Trace wheel = replay<Scheduler, EventId>(ops);
+  const Trace ref = replay<ReferenceScheduler, ReferenceScheduler::Id>(ops);
+  EXPECT_EQ(wheel.log, ref.log);
+  EXPECT_EQ(wheel.cancel_results, ref.cancel_results);
+  EXPECT_EQ(wheel.executed, ref.executed);
+  EXPECT_EQ(wheel.now, ref.now);
+}
+
+}  // namespace
+}  // namespace graybox::sim

@@ -23,6 +23,7 @@
 #include "core/engine.hpp"
 #include "core/harness.hpp"
 #include "obs/event_bus.hpp"
+#include "obs/provenance.hpp"
 #include "lspec/lspec_clause_monitors.hpp"
 #include "lspec/snapshot.hpp"
 #include "lspec/tme_monitors.hpp"
@@ -394,6 +395,38 @@ void BM_EventBusRecord(benchmark::State& state) {
                                : "ring=" + std::to_string(capacity));
 }
 BENCHMARK(BM_EventBusRecord)->Arg(0)->Arg(4096);
+
+void BM_ProvenanceRecord(benchmark::State& state) {
+  // The per-event provenance hook in both gears. Disabled prices the
+  // null-tracker predicted branch every producer pays (the Network send
+  // path); enabled prices the full tainted-send round trip: copy the
+  // sender's taint onto the message, account it, merge into the receiver.
+  // No allocation on either side — mint() is the only allocating call and
+  // happens once per fault, outside this loop.
+  const bool enabled = state.range(0) != 0;
+  obs::ProvenanceTracker tracker(8);
+  obs::ProvenanceTracker* prov = enabled ? &tracker : nullptr;
+  if (enabled) {
+    tracker.taint_process(0, tracker.mint(/*code=*/2, /*origin=*/0,
+                                          /*now=*/1));
+  }
+  obs::TaintSet msg_taint;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      if (prov != nullptr) {
+        msg_taint = prov->process_taint(0);
+        if (!msg_taint.empty()) prov->note_message_taint(msg_taint);
+        prov->merge_process(1, msg_taint);
+      }
+      // Hooks fire from separate producer frames; keep the branch live.
+      benchmark::ClobberMemory();
+    }
+  }
+  benchmark::DoNotOptimize(msg_taint.count);
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ProvenanceRecord)->Arg(0)->Arg(1);
 
 void BM_HarnessObservability(benchmark::State& state) {
   // One simulated kilotick of the busy wrapped 5-process system under the

@@ -8,12 +8,14 @@
 // violations, stabilization verdict, message accounting, per-process
 // service. Everything the bench binaries measure, on demand for one
 // configuration — the "poke at it yourself" entry point.
+#include <cstdlib>
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/harness.hpp"
 #include "core/stabilization.hpp"
+#include "obs/causal_dag.hpp"
 #include "obs/perfetto.hpp"
 
 int main(int argc, char** argv) {
@@ -58,7 +60,19 @@ int main(int argc, char** argv) {
                {"perfetto",
                 "write a Chrome/Perfetto trace_event JSON to this path "
                 "(implies --trace)"},
-               {"metrics", "write the run's metrics JSON to this path"}});
+               {"metrics", "write the run's metrics JSON to this path"},
+               {"provenance",
+                "track causal provenance: taint propagation and per-fault "
+                "blast radius (default false; implied by --why and "
+                "--blast-radius)"},
+               {"why",
+                "explain a recorded event: bus index, or 'violation' for "
+                "the last retained monitor violation; prints the causal "
+                "chain back to the fault injection (implies --provenance "
+                "and a full-run trace)"},
+               {"blast-radius",
+                "print the per-fault blast-radius table (implies "
+                "--provenance)"}});
 
   HarnessConfig config;
   config.n = static_cast<std::size_t>(flags.get_int("n", 5));
@@ -99,6 +113,14 @@ int main(int argc, char** argv) {
   if (!perfetto_path.empty() && config.trace_capacity < 1 << 20)
     config.trace_capacity = 1 << 20;
   if (!metrics_path.empty()) config.collect_metrics = true;
+  const std::string why_arg = flags.get("why", "");
+  const bool blast_radius = flags.get_bool("blast-radius", false);
+  config.provenance = flags.get_bool("provenance", false) ||
+                      !why_arg.empty() || blast_radius;
+  // Explaining an event needs the whole run retained, like a Perfetto
+  // export: a chain whose injection was evicted cannot be reconstructed.
+  if (!why_arg.empty() && config.trace_capacity < 1 << 20)
+    config.trace_capacity = 1 << 20;
 
   const std::string kind_name = flags.get("fault-kind", "all");
   net::FaultMix mix = net::FaultMix::all();
@@ -217,6 +239,62 @@ int main(int argc, char** argv) {
   if (config.trace_capacity > 0) {
     std::cout << "\nevent trace tail:\n";
     system.trace().dump(std::cout, 32);
+  }
+  if (blast_radius && system.provenance() != nullptr) {
+    const obs::ProvenanceTracker& prov = *system.provenance();
+    Table blast({"id", "fault", "origin", "injected", "procs tainted",
+                 "msgs tainted", "violations", "containment"});
+    for (const obs::BlastRadius& b : prov.blast()) {
+      blast.row(b.id, net::fault_code_name(b.code),
+                b.origin == kNoProcess ? std::string("-")
+                                       : std::to_string(b.origin),
+                b.injected_at, b.processes_tainted, b.messages_tainted,
+                b.violations_attributed, b.containment());
+    }
+    std::cout << "\nblast radius (" << prov.minted() << " faults minted):\n";
+    blast.print(std::cout);
+  }
+  if (!why_arg.empty()) {
+    const obs::EventBus& bus = system.events();
+    std::size_t target = bus.size();
+    if (why_arg == "violation") {
+      for (std::size_t i = bus.size(); i > 0; --i) {
+        if (bus.event(i - 1).kind == obs::EventKind::kMonitorViolation) {
+          target = i - 1;
+          break;
+        }
+      }
+      if (target == bus.size())
+        std::cout << "\n--why=violation: no monitor violation retained\n";
+    } else {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(why_arg.c_str(), &end, 10);
+      if (end == why_arg.c_str() || *end != '\0') {
+        std::cerr << "--why expects a bus index or 'violation', got '"
+                  << why_arg << "'\n";
+        return 2;
+      }
+      target = static_cast<std::size_t>(v);
+      if (target >= bus.size()) {
+        std::cout << "\n--why=" << why_arg << ": index out of range (trace"
+                  << " holds " << bus.size() << " events)\n";
+        target = bus.size();
+      }
+    }
+    if (target < bus.size()) {
+      const std::vector<std::size_t> chain = obs::why(bus, target);
+      std::cout << "\ncausal chain for event #" << target << " ("
+                << bus.render(bus.event(target)) << "):\n";
+      if (chain.empty()) {
+        std::cout << "  no recorded fault injection upstream of this event\n";
+      } else {
+        for (std::size_t idx : chain) {
+          const obs::Event& e = bus.event(idx);
+          std::cout << "  #" << idx << "  t=" << e.time << "  "
+                    << bus.render(e) << "\n";
+        }
+      }
+    }
   }
   if (!perfetto_path.empty()) {
     obs::write_perfetto_file(perfetto_path, system.events());

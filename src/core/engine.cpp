@@ -91,9 +91,9 @@ std::string config_digest(const HarnessConfig& config) {
   h.mix(std::uint64_t{config.fault_process.start});
   h.mix(std::uint64_t{config.fault_process.end});
   // Deliberately excluded: seed (recorded separately as the cell's seed
-  // range), trace_capacity, and collect_metrics (observability only — the
-  // engine forces collect_metrics on per trial, and neither changes the
-  // run's RNG-visible behavior).
+  // range), trace_capacity, collect_metrics, and provenance (observability
+  // only — the engine forces collect_metrics and provenance on per trial,
+  // and none of them changes the run's RNG-visible behavior).
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(h.value()));
@@ -172,9 +172,11 @@ GridResult ExperimentEngine::run(const SpecGrid& grid) const {
     const RunSpec& spec = grid.cells()[task.cell];
     HarnessConfig config = spec.config;
     config.seed = spec.config.seed + task.trial;
-    // Metrics are passive (no RNG draws, no scheduling), so forcing them on
-    // is determinism-safe and gives every BENCH artifact a metrics section.
+    // Metrics and provenance are passive (no RNG draws, no scheduling), so
+    // forcing them on is determinism-safe and gives every BENCH artifact a
+    // metrics section with blast-radius rollups.
     config.collect_metrics = true;
+    config.provenance = true;
     const auto start = std::chrono::steady_clock::now();
     Slot& slot = slots[task.cell][task.trial];
     slot.result = spec.trial ? spec.trial(config, spec.scenario)

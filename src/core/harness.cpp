@@ -93,6 +93,12 @@ SystemHarness::SystemHarness(HarnessConfig config)
   bus_ = std::make_unique<obs::EventBus>(sched_, config_.trace_capacity);
   bus_->set_fault_kind_names(net::fault_kind_names());
 
+  // Causal provenance: one tracker per harness when enabled; producers all
+  // hold the same nullable pointer (null = disabled, a predicted branch).
+  if (config_.provenance) {
+    provenance_ = std::make_unique<obs::ProvenanceTracker>(config_.n);
+  }
+
   // Pre-split every RNG stream in the pre-registry order (network, one per
   // client, injector, fault load, recovery), then split the factory stream
   // LAST: an external factory that draws must not shift any pre-existing
@@ -110,6 +116,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
   net_ = std::make_unique<net::Network>(sched_, config_.n, config_.delay,
                                         net_rng);
   net_->set_event_bus(bus_.get());
+  net_->set_provenance(provenance_.get());
 
   // Processes + delivery plumbing. A crashed process's deliveries are
   // swallowed at the handler: the network still did its part (monitors see
@@ -121,6 +128,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
     raw.push_back(processes_.back().get());
     me::TmeProcess* proc = raw.back();
     proc->set_event_bus(bus_.get());
+    proc->set_provenance(provenance_.get());
     net_->set_handler(pid, [this, proc, pid](const net::Message& msg) {
       if (crashed_[pid]) {
         ++deliveries_to_crashed_;
@@ -150,11 +158,13 @@ SystemHarness::SystemHarness(HarnessConfig config)
       wrappers_[pid] = std::make_unique<wrapper::GrayboxWrapper>(
           sched_, *net_, *processes_[pid], config_.wrapper);
       wrappers_[pid]->set_event_bus(bus_.get());
+      wrappers_[pid]->set_provenance(provenance_.get());
     }
     if (tiers & kTierLevel1) {
       local_wrappers_[pid] = std::make_unique<wrapper::LocalWrapper>(
           sched_, *processes_[pid], config_.local_wrapper);
       local_wrappers_[pid]->set_event_bus(bus_.get());
+      local_wrappers_[pid]->set_provenance(provenance_.get());
     }
   }
 
@@ -165,6 +175,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
         processes_[pid]->corrupt_state(rng);
       });
   faults_->set_event_bus(bus_.get());
+  faults_->set_provenance(provenance_.get());
   faults_->set_fault_observer(
       [this](net::FaultKind) { on_fault_arrival(); });
 
@@ -231,10 +242,18 @@ SystemHarness::SystemHarness(HarnessConfig config)
   // hook is off the hot path).
   monitor_set_.set_violation_hook([this](SimTime t, std::size_t index) {
     last_violation_time_ = t;
+    // Attribute the violation to its root-cause fault(s) before recording,
+    // so the bus event carries the attribution (unconditionally: the
+    // blast-radius aggregates must not depend on the bus being enabled).
+    obs::TaintSet attributed;
+    if (provenance_ != nullptr) {
+      attributed = provenance_->attribute_violation(t);
+    }
     if (bus_->enabled()) {
       obs::Event e;
       e.kind = obs::EventKind::kMonitorViolation;
       e.monitor = static_cast<std::uint16_t>(index);
+      e.taint = attributed;
       bus_->record(e);
     }
   });
@@ -271,6 +290,14 @@ SystemHarness::SystemHarness(HarnessConfig config)
     metrics_.counter("dropped_by_partition");
     reconverge_hist_ = &metrics_.histogram("reconverge_ticks",
                                            obs::Histogram::pow2_bounds(20));
+    // Blast-radius rollup (provenance.*; zeros when provenance is off).
+    // Registered unconditionally so the snapshot shape is a pure function
+    // of collect_metrics, never of the provenance toggle.
+    metrics_.counter("provenance.faults_minted");
+    metrics_.counter("provenance.processes_tainted");
+    metrics_.counter("provenance.messages_tainted");
+    metrics_.counter("provenance.violations_attributed");
+    metrics_.counter("provenance.containment_ticks");
 
     net_->add_send_observer(
         [this, &queue_depth, &in_flight](const net::Message& msg) {
@@ -396,11 +423,19 @@ bool SystemHarness::heal_partition() {
 
 void SystemHarness::note_lifecycle(std::uint8_t code, ProcessId pid) {
   lifecycle_stats_[code - net::kFaultKindCount].note(sched_.now());
+  obs::ProvenanceId id = obs::kNoProvenance;
+  if (provenance_ != nullptr) {
+    id = provenance_->mint(code, pid, sched_.now());
+    // Crash and recovery corrupt the named process (recovery re-enters an
+    // improperly initialized state); partitions have no single target.
+    if (pid != kNoProcess) provenance_->taint_process(pid, id);
+  }
   if (bus_->enabled()) {
     obs::Event e;
     e.kind = obs::EventKind::kFaultInjected;
     e.a = code;
     e.pid = pid;
+    e.taint.add(id);
     bus_->record(e);
   }
   on_fault_arrival();
@@ -587,6 +622,16 @@ RunStats SystemHarness::stats() const {
     }
   }
 
+  if (provenance_ != nullptr) {
+    stats.provenance_faults = provenance_->minted();
+    for (const obs::BlastRadius& b : provenance_->blast()) {
+      stats.processes_tainted += b.processes_tainted;
+      stats.messages_tainted += b.messages_tainted;
+      stats.violations_attributed += b.violations_attributed;
+      stats.containment_ticks += b.containment();
+    }
+  }
+
   if (config_.collect_metrics) {
     // Refresh the pull counters (registered in the constructor, so the
     // snapshot order never depends on when stats() is called).
@@ -624,6 +669,14 @@ RunStats SystemHarness::stats() const {
                  : 1000000);
     metrics_.counter("deliveries_to_crashed").set(deliveries_to_crashed_);
     metrics_.counter("dropped_by_partition").set(net_->dropped_by_partition());
+    metrics_.counter("provenance.faults_minted").set(stats.provenance_faults);
+    metrics_.counter("provenance.processes_tainted")
+        .set(stats.processes_tainted);
+    metrics_.counter("provenance.messages_tainted").set(stats.messages_tainted);
+    metrics_.counter("provenance.violations_attributed")
+        .set(stats.violations_attributed);
+    metrics_.counter("provenance.containment_ticks")
+        .set(stats.containment_ticks);
     stats.metrics = metrics_.snapshot();
   }
   return stats;

@@ -155,6 +155,15 @@ struct HarnessConfig {
   /// armed by start() when any stream rate is nonzero. The default
   /// (all-zero rates) leaves the subsystem idle and draws nothing.
   net::FaultProcessConfig fault_process{};
+
+  /// Causal fault provenance (obs/provenance.hpp): every injection mints a
+  /// deterministic id, corruption taints its target, taint propagates on
+  /// send/deliver/transition and is cleared by wrapper corrections, and
+  /// violations are attributed to their root-cause fault(s). Purely
+  /// passive like collect_metrics — no RNG draws, no scheduling — so it
+  /// never perturbs the run; excluded from config_digest for exactly that
+  /// reason (the experiment engine forces it on per trial).
+  bool provenance = false;
 };
 
 /// The registry-canonical serialization of a config's algorithm choice:
@@ -209,6 +218,14 @@ struct RunStats {
   /// + monitor stepping), summed over all events. Volatile: excluded from
   /// determinism comparisons.
   std::uint64_t observe_ns = 0;
+  // Blast-radius rollup when config.provenance was set (zeros otherwise).
+  // Per-fault rows live in SystemHarness::provenance()->blast(); these are
+  // the deterministic sums folded across all minted faults.
+  std::uint64_t provenance_faults = 0;     ///< ids minted (= faults seen)
+  std::uint64_t processes_tainted = 0;     ///< summed per-fault spread
+  std::uint64_t messages_tainted = 0;      ///< messages that carried taint
+  std::uint64_t violations_attributed = 0; ///< violation->fault attributions
+  std::uint64_t containment_ticks = 0;     ///< summed containment() windows
   /// Metric samples collected when config.collect_metrics was set; empty
   /// otherwise. All values are sim-domain, hence deterministic.
   obs::MetricsSnapshot metrics;
@@ -275,6 +292,13 @@ class SystemHarness {
   /// config.trace_capacity > 0.
   obs::EventBus& events() { return *bus_; }
   const obs::EventBus& events() const { return *bus_; }
+
+  /// The provenance tracker; null unless config.provenance (producers hold
+  /// the same nullable pointer — disabled cost is one predicted branch).
+  obs::ProvenanceTracker* provenance() { return provenance_.get(); }
+  const obs::ProvenanceTracker* provenance() const {
+    return provenance_.get();
+  }
 
   /// Live metric instruments; empty unless config.collect_metrics.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
@@ -354,6 +378,11 @@ class SystemHarness {
   lspec::TmeMonitors tme_handles_;
   lspec::LspecClauseMonitors lspec_handles_;
   std::unique_ptr<obs::EventBus> bus_;
+  /// Null unless config.provenance; owns per-process taint and the
+  /// per-fault BlastRadius rows. Declared before the components holding a
+  /// raw pointer to it would matter only for destructor use — none do —
+  /// but keep it next to the bus it conceptually extends.
+  std::unique_ptr<obs::ProvenanceTracker> provenance_;
   // Pull counters are refreshed from component state inside const stats().
   mutable obs::MetricsRegistry metrics_;
   std::vector<SimTime> hungry_since_;  ///< per-pid CS wait start (metrics)

@@ -34,6 +34,7 @@ void TmeProcess::transition(TmeState to) {
     e.pid = pid_;
     e.a = static_cast<std::uint8_t>(from);
     e.b = static_cast<std::uint8_t>(to);
+    if (prov_ != nullptr) e.taint = prov_->process_taint(pid_);
     bus_->record(e);
   }
   for (const auto& obs : state_observers_) obs(from, to);
@@ -91,6 +92,11 @@ void TmeProcess::release_cs() {
 void TmeProcess::poll() { after_event(); }
 
 void TmeProcess::on_message(const net::Message& msg) {
+  // A tainted message contaminates the receiver before the handler runs:
+  // whatever the handler does with the contents is downstream of the fault.
+  if (prov_ != nullptr && !msg.taint.empty()) {
+    prov_->merge_process(pid_, msg.taint);
+  }
   // Timestamp Spec: logical clocks witness every received timestamp, which
   // is what lets corrupted sky-high timestamps propagate and be absorbed
   // instead of stalling the total order.

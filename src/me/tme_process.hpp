@@ -152,6 +152,11 @@ class TmeProcess {
   /// kCsEnter (h->e), kCsExit (e->t), or kLocalStep events.
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
+  /// Attach the provenance tracker; delivered messages then merge their
+  /// taint into this process and recorded transitions carry its active
+  /// taint. nullptr (the default) disables.
+  void set_provenance(obs::ProvenanceTracker* prov) { prov_ = prov; }
+
  protected:
   // Template-method hooks implemented by the concrete programs.
   virtual void do_request() = 0;                       // broadcast REQUEST
@@ -194,6 +199,7 @@ class TmeProcess {
   std::uint64_t obs_version_ = 1;
   std::vector<StateChangeFn> state_observers_;
   obs::EventBus* bus_ = nullptr;
+  obs::ProvenanceTracker* prov_ = nullptr;
 };
 
 }  // namespace graybox::me

@@ -61,7 +61,13 @@ void Channel::fault_corrupt(std::size_t index, const Message& corrupted) {
   Message replacement = corrupted;
   replacement.uid = queue_[index].uid;
   replacement.vc = queue_[index].vc;
+  replacement.taint = queue_[index].taint;
   queue_[index] = replacement;
+}
+
+void Channel::fault_taint(std::size_t index, obs::ProvenanceId id) {
+  GBX_EXPECTS(index < queue_.size());
+  queue_[index].taint.add(id);
 }
 
 void Channel::fault_swap(std::size_t a, std::size_t b) {

@@ -73,6 +73,12 @@ class Channel {
   /// Swap two in-flight messages (transient FIFO violation).
   void fault_swap(std::size_t a, std::size_t b);
 
+  /// Add a provenance id to the in-flight message at `index` (the fault
+  /// injector marking the physical carrier it just tampered with). Like
+  /// fault_corrupt, this never rewrites causality metadata — it only
+  /// augments the monitor-side taint the message already carried.
+  void fault_taint(std::size_t index, obs::ProvenanceId id);
+
   /// Insert a fabricated message (it never passed through Network::send).
   /// If `msg.uid == 0` the channel stamps a fresh uid from the reserved
   /// spurious range (>= kSpuriousUidBase) so fabricated messages never

@@ -182,8 +182,13 @@ Message FaultInjector::random_message(ProcessId from, ProcessId to) {
   return msg;
 }
 
-void FaultInjector::note(FaultKind kind, ProcessId pid,
-                         std::uint64_t dropped) {
+obs::ProvenanceId FaultInjector::mint(FaultKind kind, ProcessId pid) {
+  if (prov_ == nullptr) return obs::kNoProvenance;
+  return prov_->mint(static_cast<std::uint8_t>(kind), pid, sched_.now());
+}
+
+void FaultInjector::note(FaultKind kind, ProcessId pid, std::uint64_t dropped,
+                         obs::ProvenanceId id) {
   kind_stats_[static_cast<std::size_t>(kind)].note(sched_.now());
   if (first_fault_time_ == kNever) first_fault_time_ = sched_.now();
   last_fault_time_ = sched_.now();
@@ -193,25 +198,40 @@ void FaultInjector::note(FaultKind kind, ProcessId pid,
     e.a = static_cast<std::uint8_t>(kind);
     e.pid = pid;
     e.payload = dropped;
+    e.taint.add(id);
     bus_->record(e);
     if (dropped > 0) {
       obs::Event d;
       d.kind = obs::EventKind::kDrop;
       d.payload = dropped;
+      d.taint.add(id);
       bus_->record(d);
     }
   }
   if (on_fault_) on_fault_(kind);
 }
 
+void FaultInjector::taint_in_flight(Channel& ch, std::size_t index,
+                                    obs::ProvenanceId id) {
+  if (id == obs::kNoProvenance) return;
+  ch.fault_taint(index, id);
+  obs::TaintSet carried;
+  carried.add(id);
+  prov_->note_message_taint(carried);
+}
+
 bool FaultInjector::inject(FaultKind kind) {
   ProcessId fault_pid = kNoProcess;
   std::uint64_t dropped = 0;
+  obs::ProvenanceId id = obs::kNoProvenance;
   switch (kind) {
     case FaultKind::kMessageDrop: {
       Target t = pick_in_flight();
       if (t.channel == nullptr) return false;
       t.channel->fault_drop(t.index);
+      // The carrier is destroyed; the minted id only marks the injection
+      // (its blast radius is the silence the drop causes, not spread).
+      id = mint(kind);
       dropped = 1;
       break;
     }
@@ -219,6 +239,10 @@ bool FaultInjector::inject(FaultKind kind) {
       Target t = pick_in_flight();
       if (t.channel == nullptr) return false;
       t.channel->fault_duplicate(t.index);
+      // The duplicate (placed right behind the original) is the faulty
+      // artifact; the original message stays clean.
+      id = mint(kind);
+      taint_in_flight(*t.channel, t.index + 1, id);
       break;
     }
     case FaultKind::kMessageCorrupt: {
@@ -227,6 +251,8 @@ bool FaultInjector::inject(FaultKind kind) {
       const Message& original = t.channel->contents()[t.index];
       Message corrupted = random_message(original.from, original.to);
       t.channel->fault_corrupt(t.index, corrupted);
+      id = mint(kind);
+      taint_in_flight(*t.channel, t.index, id);
       break;
     }
     case FaultKind::kMessageReorder: {
@@ -247,12 +273,22 @@ bool FaultInjector::inject(FaultKind kind) {
       std::size_t b = rng_.index(ch.in_flight() - 1);
       if (b >= a) ++b;
       ch.fault_swap(a, b);
+      // Both swapped messages are now out of FIFO order.
+      id = mint(kind);
+      taint_in_flight(ch, a, id);
+      taint_in_flight(ch, b, id);
       break;
     }
     case FaultKind::kSpuriousMessage: {
       if (net_.size() < 2) return false;
       const auto [from, to] = pick_pair();
-      net_.channel(from, to).fault_inject(random_message(from, to));
+      Message fabricated = random_message(from, to);
+      id = mint(kind);
+      if (id != obs::kNoProvenance) {
+        fabricated.taint.add(id);
+        prov_->note_message_taint(fabricated.taint);
+      }
+      net_.channel(from, to).fault_inject(fabricated);
       break;
     }
     case FaultKind::kProcessCorrupt: {
@@ -260,6 +296,8 @@ bool FaultInjector::inject(FaultKind kind) {
       const auto pid = static_cast<ProcessId>(rng_.index(net_.size()));
       corrupt_process_(pid, rng_);
       fault_pid = pid;
+      id = mint(kind, pid);
+      if (prov_ != nullptr) prov_->taint_process(pid, id);
       break;
     }
     case FaultKind::kChannelClear: {
@@ -278,10 +316,11 @@ bool FaultInjector::inject(FaultKind kind) {
       Channel& ch = *eligible[rng_.index(eligible.size())];
       dropped = ch.in_flight();
       ch.fault_clear();
+      id = mint(kind);
       break;
     }
   }
-  note(kind, fault_pid, dropped);
+  note(kind, fault_pid, dropped, id);
   return true;
 }
 

@@ -125,6 +125,12 @@ class FaultInjector {
   /// kFaultInjected event (plus kDrop for destroyed messages).
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
+  /// Attach the provenance tracker; every applied fault then mints a
+  /// deterministic provenance id and taints its target (the in-flight
+  /// message it tampered with, or the corrupted process). nullptr (the
+  /// default) disables.
+  void set_provenance(obs::ProvenanceTracker* prov) { prov_ = prov; }
+
   /// Harness hook fired after every successfully injected fault (the
   /// reconvergence tracker keys its windows off fault arrivals).
   void set_fault_observer(std::function<void(FaultKind)> fn) {
@@ -144,9 +150,14 @@ class FaultInjector {
   clk::Timestamp random_timestamp();
   /// Account one applied fault: bump the per-kind aggregate, stamp
   /// first/last fault times, and emit bus events. `pid` names the corrupted
-  /// process (process faults only); `dropped` counts messages destroyed.
+  /// process (process faults only); `dropped` counts messages destroyed;
+  /// `id` is the fault's minted provenance id (0 when tracking is off).
   void note(FaultKind kind, ProcessId pid = kNoProcess,
-            std::uint64_t dropped = 0);
+            std::uint64_t dropped = 0, obs::ProvenanceId id = 0);
+  /// Mint the provenance id for one applied fault (0 when tracking is off).
+  obs::ProvenanceId mint(FaultKind kind, ProcessId pid = kNoProcess);
+  /// Taint the in-flight carrier the fault tampered with (no-op id 0).
+  void taint_in_flight(Channel& ch, std::size_t index, obs::ProvenanceId id);
 
   sim::Scheduler& sched_;
   Network& net_;
@@ -156,6 +167,7 @@ class FaultInjector {
   SimTime first_fault_time_ = kNever;
   SimTime last_fault_time_ = kNever;
   obs::EventBus* bus_ = nullptr;
+  obs::ProvenanceTracker* prov_ = nullptr;
   std::function<void(FaultKind)> on_fault_;
 };
 

@@ -21,6 +21,7 @@
 #include "clock/timestamp.hpp"
 #include "clock/vector_clock.hpp"
 #include "common/types.hpp"
+#include "obs/provenance.hpp"
 
 namespace graybox::net {
 
@@ -61,6 +62,13 @@ struct Message {
   /// the programs under test. Used by the ME3 (FCFS) monitor to decide
   /// Lamport's happened-before relation exactly.
   clk::VectorClock vc{};
+
+  /// Monitor-side fault provenance, never read by the programs under test.
+  /// Network::send stamps the sender's active taint here; the fault
+  /// injector adds ids directly when it corrupts or fabricates a message
+  /// in flight; delivery merges it into the receiver's taint. Empty
+  /// whenever provenance tracking is disabled.
+  obs::TaintSet taint{};
 
   std::string to_string() const;
 };

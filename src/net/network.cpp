@@ -15,6 +15,8 @@ obs::Event message_event(obs::EventKind kind, const Message& msg) {
   e.payload = msg.ts.counter;
   e.aux = msg.ts.pid;
   if (msg.from_wrapper) e.flags |= obs::Event::kFromWrapper;
+  e.uid = msg.uid;
+  e.taint = msg.taint;
   return e;
 }
 
@@ -86,6 +88,10 @@ void Network::send(ProcessId from, ProcessId to, MsgType type,
   vclocks_[from].tick();
   ++vclock_versions_[from];
   msg.vc = vclocks_[from];
+  if (prov_ != nullptr) {
+    msg.taint = prov_->process_taint(from);
+    if (!msg.taint.empty()) prov_->note_message_taint(msg.taint);
+  }
 
   ++total_sent_;
   ++sent_by_type_[static_cast<std::size_t>(type)];

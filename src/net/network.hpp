@@ -95,6 +95,12 @@ class Network {
   /// a typed event. nullptr (the default) detaches.
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
+  /// Attach the provenance tracker; every send then stamps the sender's
+  /// active taint onto the outgoing message (and accounts tainted
+  /// messages). nullptr (the default) disables — one predicted branch on
+  /// the send path.
+  void set_provenance(obs::ProvenanceTracker* prov) { prov_ = prov; }
+
   /// Sim-time of the most recent send / delivery (kNever before the
   /// first). Feeds quiescence detection in the stabilization timeline.
   SimTime last_send_time() const { return last_send_time_; }
@@ -122,6 +128,7 @@ class Network {
   std::vector<MessageObserver> send_observers_;
   std::vector<MessageObserver> delivery_observers_;
   obs::EventBus* bus_ = nullptr;
+  obs::ProvenanceTracker* prov_ = nullptr;
   SimTime last_send_time_ = kNever;
   SimTime last_delivery_time_ = kNever;
   std::uint64_t next_uid_ = 1;

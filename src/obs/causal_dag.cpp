@@ -1,0 +1,126 @@
+#include "obs/causal_dag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "obs/event_bus.hpp"
+
+namespace graybox::obs {
+
+ProcessId acting_process(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kSend:
+      return e.pid;
+    case EventKind::kDeliver:
+      return e.peer;  // pid = sender, peer = receiver; delivery acts on peer
+    case EventKind::kLocalStep:
+    case EventKind::kCsEnter:
+    case EventKind::kCsExit:
+    case EventKind::kWrapperCorrection:
+    case EventKind::kLocalCorrection:
+      return e.pid;
+    case EventKind::kFaultInjected:
+      return e.pid;  // kNoProcess for message/partition faults
+    case EventKind::kDrop:
+    case EventKind::kMonitorViolation:
+      return kNoProcess;
+  }
+  return kNoProcess;
+}
+
+CausalDag CausalDag::build(const EventBus& bus) {
+  CausalDag dag;
+  const std::size_t n = bus.size();
+  dag.preds_.resize(n);
+
+  std::unordered_map<ProcessId, std::size_t> last_by_pid;
+  std::unordered_map<std::uint64_t, std::size_t> send_by_uid;
+  std::unordered_map<ProvenanceId, std::size_t> last_carrier;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = bus.event(i);
+    std::vector<std::uint32_t>& preds = dag.preds_[i];
+
+    const ProcessId p = acting_process(e);
+    if (p != kNoProcess) {
+      const auto it = last_by_pid.find(p);
+      if (it != last_by_pid.end()) {
+        preds.push_back(static_cast<std::uint32_t>(it->second));
+      }
+      last_by_pid[p] = i;
+    }
+
+    if (e.uid != 0) {
+      if (e.kind == EventKind::kSend) {
+        send_by_uid[e.uid] = i;
+      } else if (e.kind == EventKind::kDeliver) {
+        const auto it = send_by_uid.find(e.uid);
+        if (it != send_by_uid.end()) {
+          preds.push_back(static_cast<std::uint32_t>(it->second));
+        }
+      }
+    }
+
+    for (std::size_t t = 0; t < e.taint.size(); ++t) {
+      const ProvenanceId id = e.taint[t];
+      const auto it = last_carrier.find(id);
+      if (it != last_carrier.end()) {
+        preds.push_back(static_cast<std::uint32_t>(it->second));
+      }
+      last_carrier[id] = i;
+    }
+
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  }
+  return dag;
+}
+
+std::vector<std::size_t> why(const EventBus& bus, std::size_t index) {
+  if (index >= bus.size()) return {};
+  const CausalDag dag = CausalDag::build(bus);
+  const TaintSet target = bus.event(index).taint;
+
+  const auto is_root = [&](const Event& e) {
+    if (e.kind != EventKind::kFaultInjected) return false;
+    if (target.empty()) return true;
+    for (std::size_t t = 0; t < e.taint.size(); ++t) {
+      if (target.contains(e.taint[t])) return true;
+    }
+    return false;
+  };
+
+  // Backward BFS toward the nearest qualifying injection. succ_[i] points
+  // one hop *toward the target*, so the chain falls out of the walk.
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> succ(bus.size(), kUnvisited);
+  std::deque<std::size_t> frontier;
+  succ[index] = index;
+  frontier.push_back(index);
+  std::size_t root = kUnvisited;
+  while (!frontier.empty()) {
+    const std::size_t i = frontier.front();
+    frontier.pop_front();
+    if (is_root(bus.event(i))) {
+      root = i;
+      break;
+    }
+    for (const std::uint32_t pred : dag.preds(i)) {
+      if (succ[pred] == kUnvisited) {
+        succ[pred] = i;
+        frontier.push_back(pred);
+      }
+    }
+  }
+  if (root == kUnvisited) return {};
+
+  std::vector<std::size_t> chain;
+  for (std::size_t cur = root;; cur = succ[cur]) {
+    chain.push_back(cur);
+    if (cur == index) break;
+  }
+  return chain;
+}
+
+}  // namespace graybox::obs

@@ -1,0 +1,64 @@
+// Happened-before DAG over the retained event ring, with a root-cause query.
+//
+// The taint stream (obs/provenance.hpp) answers the aggregate question —
+// which fault each violation is attributed to. This module answers the
+// narrative one: *show me the chain*. Nodes are the events currently
+// retained in the EventBus ring; edges are the happened-before structure
+// the run actually exhibited:
+//
+//   * program order  — consecutive events of the same acting process;
+//   * message        — kSend -> kDeliver paired by message uid (exact even
+//                      under duplication: both deliveries point at the one
+//                      physical send, mirroring the vector-clock witness);
+//   * taint          — consecutive carriers of the same provenance id,
+//                      rooting every tainted event at its kFaultInjected
+//                      origin and linking attribution-only events
+//                      (violations have no acting process) into the DAG.
+//
+// why(bus, index) walks the edges backwards (breadth-first, so the chain is
+// a shortest one, and in deterministic index order) to the nearest
+// injection sharing a taint id with the target, and returns the causal
+// chain injection-first. Construction allocates — this is a query-time
+// API over an already-recorded ring, not a per-event path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace graybox::obs {
+
+class EventBus;
+
+/// Returns the process whose local order an event belongs to, or kNoProcess
+/// for events with no single acting process (drops, monitor violations,
+/// lifecycle faults with no target).
+ProcessId acting_process(const Event& e);
+
+class CausalDag {
+ public:
+  /// Build the happened-before DAG over the bus's retained ring (index i =
+  /// bus.event(i), oldest retained first).
+  static CausalDag build(const EventBus& bus);
+
+  std::size_t size() const { return preds_.size(); }
+
+  /// Direct causal predecessors of event `i`, ascending, deduplicated.
+  const std::vector<std::uint32_t>& preds(std::size_t i) const {
+    return preds_[i];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> preds_;
+};
+
+/// Root-cause query: a causal chain of retained-ring indices from a
+/// kFaultInjected event to `index`, injection first, `index` last. The
+/// injection is the nearest one (fewest causal hops) sharing a taint id
+/// with the target event; for an untainted target any injection qualifies.
+/// Empty when `index` is out of range or no injection is causally upstream.
+std::vector<std::size_t> why(const EventBus& bus, std::size_t index);
+
+}  // namespace graybox::obs

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "obs/provenance.hpp"
 
 namespace graybox::obs {
 
@@ -34,6 +35,12 @@ enum class EventKind : std::uint8_t {
 inline constexpr std::size_t kEventKindCount = 10;
 
 const char* to_string(EventKind kind);
+
+/// Built-in name for a kFaultInjected code when no fault_kind_names table
+/// was registered: the full 11-code space (net::FaultKind 0..6 plus the
+/// lifecycle codes 7..10), mirroring net::fault_code_name. Returns nullptr
+/// for codes beyond the known space.
+const char* fault_code_builtin_name(std::uint8_t code);
 
 /// One recorded event. Field meaning by kind:
 ///
@@ -61,6 +68,15 @@ struct Event {
   std::uint8_t a = 0;
   std::uint8_t b = 0;
   std::uint8_t flags = 0;
+
+  /// Message uid for kSend/kDeliver (0 otherwise): lets the causal DAG pair
+  /// each delivery with its exact send even under duplication and faults.
+  std::uint64_t uid = 0;
+  /// Active fault provenance at record time: the message's taint for
+  /// kSend/kDeliver, the acting process's taint for transitions and
+  /// corrections, the minted id for kFaultInjected, and the attributed
+  /// root-cause set for kMonitorViolation. Empty when provenance is off.
+  TaintSet taint{};
 
   static constexpr std::uint8_t kFromWrapper = 1u << 0;
 };

@@ -55,6 +55,24 @@ report::Json complete(int pid, int tid, SimTime ts, SimTime dur,
   return e;
 }
 
+// Flow events ("s" start / "t" step / "f" end) visualize causal provenance
+// as arrows between the instants they are co-located with. All three phases
+// share the numeric provenance id; the end carries bp:"e" so the arrow
+// binds to the enclosing instant rather than the next slice.
+report::Json flow(const char* ph, int pid, int tid, SimTime ts,
+                  ProvenanceId id) {
+  report::Json e = report::Json::object();
+  e["ph"] = ph;
+  e["pid"] = pid;
+  e["tid"] = tid;
+  e["ts"] = ts;
+  e["name"] = "provenance";
+  e["cat"] = "provenance";
+  e["id"] = std::uint64_t{id};
+  if (ph[0] == 'f') e["bp"] = "e";
+  return e;
+}
+
 }  // namespace
 
 report::Json perfetto_trace_json(const EventBus& bus) {
@@ -65,6 +83,12 @@ report::Json perfetto_trace_json(const EventBus& bus) {
   // stable header keeps the artifact diffable).
   std::set<ProcessId> procs;
   std::set<std::uint16_t> monitors;
+  // Provenance flow anchors: first retained kFaultInjected carrying each id
+  // ("s"), and the last retained attributed violation ("f"). Ids whose
+  // injection was evicted from the ring get no flow (an arrow needs its
+  // start anchor).
+  std::map<ProvenanceId, std::size_t> flow_start;
+  std::map<ProvenanceId, std::size_t> flow_finish;
   for (std::size_t i = 0; i < bus.size(); ++i) {
     const Event& e = bus.event(i);
     switch (e.kind) {
@@ -75,11 +99,36 @@ report::Json perfetto_trace_json(const EventBus& bus) {
         break;
       case EventKind::kMonitorViolation:
         monitors.insert(e.monitor);
+        for (std::size_t k = 0; k < e.taint.size(); ++k) {
+          flow_finish[e.taint[k]] = i;
+        }
+        break;
+      case EventKind::kFaultInjected:
+        for (std::size_t k = 0; k < e.taint.size(); ++k) {
+          flow_start.emplace(e.taint[k], i);
+        }
         break;
       default:
         break;
     }
   }
+  const auto emit_flows = [&](const Event& e, std::size_t i, int pid,
+                              int tid) {
+    for (std::size_t k = 0; k < e.taint.size(); ++k) {
+      const ProvenanceId id = e.taint[k];
+      const auto s = flow_start.find(id);
+      if (s == flow_start.end()) continue;
+      if (i == s->second) {
+        events.push_back(flow("s", pid, tid, e.time, id));
+        continue;
+      }
+      if (i < s->second) continue;
+      const auto f = flow_finish.find(id);
+      if (f == flow_finish.end() || i > f->second) continue;
+      events.push_back(
+          flow(i == f->second ? "f" : "t", pid, tid, e.time, id));
+    }
+  };
 
   events.push_back(meta_event(kPidProcesses, "process_name", "processes"));
   for (ProcessId p : procs) {
@@ -147,6 +196,10 @@ report::Json perfetto_trace_json(const EventBus& bus) {
     }
     switch (e.kind) {
       case EventKind::kSend:
+        events.push_back(
+            instant(kPidNetwork, kTidNetTraffic, e.time, bus.render(e)));
+        emit_flows(e, i, kPidNetwork, kTidNetTraffic);
+        break;
       case EventKind::kDeliver:
       case EventKind::kDrop:
         events.push_back(
@@ -176,18 +229,22 @@ report::Json perfetto_trace_json(const EventBus& bus) {
       case EventKind::kFaultInjected:
         events.push_back(
             instant(kPidNetwork, kTidNetFaults, e.time, bus.render(e)));
+        emit_flows(e, i, kPidNetwork, kTidNetFaults);
         break;
       case EventKind::kWrapperCorrection:
         events.push_back(
             instant(kPidWrappers, kTidWrapperLevel2, e.time, bus.render(e)));
+        emit_flows(e, i, kPidWrappers, kTidWrapperLevel2);
         break;
       case EventKind::kLocalCorrection:
         events.push_back(
             instant(kPidWrappers, kTidWrapperLevel1, e.time, bus.render(e)));
+        emit_flows(e, i, kPidWrappers, kTidWrapperLevel1);
         break;
       case EventKind::kMonitorViolation:
         events.push_back(
             instant(kPidMonitors, e.monitor, e.time, bus.render(e)));
+        emit_flows(e, i, kPidMonitors, e.monitor);
         break;
     }
   }

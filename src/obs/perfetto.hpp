@@ -10,6 +10,12 @@
 //                      tid 1: fault injections and wrapper corrections
 //   pid 3 "monitors"   one thread per monitor; violation instants
 //
+// Causal provenance is exported as flow events (cat "provenance"): an "s"
+// phase anchored at each retained fault-injection instant, "t" steps at
+// tainted sends and wrapper/local corrections, and an "f" (bp:"e") at the
+// last violation attributed to that fault — the viewer draws arrows from
+// root cause to blast radius.
+//
 // Sim ticks map 1:1 onto trace microseconds (the viewer's native unit), so
 // durations read directly in ticks. The export covers the *retained* ring —
 // size the bus capacity to the run when a complete trace matters.

@@ -1,0 +1,68 @@
+#include "obs/provenance.hpp"
+
+namespace graybox::obs {
+
+ProvenanceTracker::ProvenanceTracker(std::size_t n) : process_taint_(n) {}
+
+ProvenanceId ProvenanceTracker::mint(std::uint8_t code, ProcessId origin,
+                                     SimTime now) {
+  BlastRadius b;
+  b.id = static_cast<ProvenanceId>(blast_.size() + 1);
+  b.code = code;
+  b.origin = origin;
+  b.injected_at = now;
+  blast_.push_back(b);
+  return b.id;
+}
+
+void ProvenanceTracker::taint_process(ProcessId pid, ProvenanceId id) {
+  if (pid >= process_taint_.size() || id == kNoProvenance ||
+      id > blast_.size()) {
+    return;
+  }
+  if (process_taint_[pid].add(id)) {
+    BlastRadius& b = blast_[id - 1];
+    // Count distinct processes ever tainted, not re-infections: a process
+    // that is corrected and then tainted again by the same fault's still-
+    // circulating messages widens nothing.
+    const std::uint64_t bit = std::uint64_t{1} << (pid < 64 ? pid : 63);
+    if ((b.process_mask & bit) == 0) ++b.processes_tainted;
+    b.process_mask |= bit;
+  }
+}
+
+void ProvenanceTracker::merge_process(ProcessId pid, const TaintSet& taint) {
+  if (pid >= process_taint_.size()) return;
+  for (std::size_t i = 0; i < taint.size(); ++i) taint_process(pid, taint[i]);
+  process_taint_[pid].dropped |= taint.dropped;
+}
+
+void ProvenanceTracker::clear_process(ProcessId pid) {
+  if (pid >= process_taint_.size()) return;
+  process_taint_[pid].clear();
+}
+
+void ProvenanceTracker::note_message_taint(const TaintSet& taint) {
+  for (std::size_t i = 0; i < taint.size(); ++i) {
+    const ProvenanceId id = taint[i];
+    if (id != kNoProvenance && id <= blast_.size()) {
+      ++blast_[id - 1].messages_tainted;
+    }
+  }
+}
+
+TaintSet ProvenanceTracker::attribute_violation(SimTime now) {
+  TaintSet out;
+  for (const TaintSet& t : process_taint_) out.merge(t);
+  if (out.empty() && !blast_.empty()) {
+    out.add(static_cast<ProvenanceId>(blast_.size()));
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    BlastRadius& b = blast_[out[i] - 1];
+    ++b.violations_attributed;
+    b.last_violation = now;
+  }
+  return out;
+}
+
+}  // namespace graybox::obs

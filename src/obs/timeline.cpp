@@ -102,9 +102,14 @@ StabilizationTimeline timeline_from_bus(const EventBus& bus) {
   for (std::size_t i = 0; i < fault_stats.size(); ++i) {
     if (fault_stats[i].count == 0) continue;
     TimelineEntry e;
-    e.name = i < bus.fault_kind_names().size()
-                 ? bus.fault_kind_names()[i]
-                 : "fault#" + std::to_string(i);
+    if (i < bus.fault_kind_names().size()) {
+      e.name = bus.fault_kind_names()[i];
+    } else if (const char* builtin =
+                   fault_code_builtin_name(static_cast<std::uint8_t>(i))) {
+      e.name = builtin;
+    } else {
+      e.name = "fault#" + std::to_string(i);
+    }
     e.count = fault_stats[i].count;
     e.first = fault_stats[i].first;
     e.last = fault_stats[i].last;

@@ -19,6 +19,7 @@ void GrayboxWrapper::evaluate() {
 
   const ProcessId j = process_.pid();
   const clk::Timestamp req = process_.req();
+  bool corrected = false;
   for (ProcessId k = 0; k < process_.peers(); ++k) {
     if (k == j) continue;
     // Refinement (Section 4): k's view of us only needs correction when
@@ -32,11 +33,18 @@ void GrayboxWrapper::evaluate() {
       e.kind = obs::EventKind::kWrapperCorrection;
       e.pid = j;
       e.peer = k;
+      if (prov_ != nullptr) e.taint = prov_->process_taint(j);
       bus_->record(e);
     }
     net_.send(j, k, net::MsgType::kRequest, req, /*from_wrapper=*/true);
+    corrected = true;
   }
   // Re-arming (timer.j := delta.j) is handled by PeriodicTimer.
+
+  // The resends above re-established mutual consistency with every stale
+  // peer, so whatever fault taint j carried is contained here: the
+  // corrections (recorded tainted, above) are the last trace of it.
+  if (corrected && prov_ != nullptr) prov_->clear_process(j);
 }
 
 }  // namespace graybox::wrapper

@@ -70,6 +70,12 @@ class GrayboxWrapper {
   /// kWrapperCorrection event (in addition to the network's kSend).
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
+  /// Attach the provenance tracker; a correcting evaluation (>= 1 resend)
+  /// then clears the wrapped process's taint — the divergence it was
+  /// spreading is contained by the correction. The correction events and
+  /// resends themselves still carry the taint (that is the attribution).
+  void set_provenance(obs::ProvenanceTracker* prov) { prov_ = prov; }
+
  private:
   sim::Scheduler& sched_;
   net::Network& net_;
@@ -78,6 +84,7 @@ class GrayboxWrapper {
   sim::PeriodicTimer timer_;
   std::uint64_t resends_ = 0;
   obs::EventBus* bus_ = nullptr;
+  obs::ProvenanceTracker* prov_ = nullptr;
 };
 
 }  // namespace graybox::wrapper

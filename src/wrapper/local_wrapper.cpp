@@ -45,8 +45,12 @@ void LocalWrapper::correct(Predicate which) {
     e.kind = obs::EventKind::kLocalCorrection;
     e.pid = process_.pid();
     e.a = which;
+    if (prov_ != nullptr) e.taint = prov_->process_taint(process_.pid());
     bus_->record(e);
   }
+  // The repair restored local consistency, so the corruption this process
+  // carried is contained here (the correction event above is attributed).
+  if (prov_ != nullptr) prov_->clear_process(process_.pid());
 }
 
 }  // namespace graybox::wrapper

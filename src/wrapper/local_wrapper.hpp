@@ -79,6 +79,11 @@ class LocalWrapper {
   /// kLocalCorrection event with the Predicate in Event::a.
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
+  /// Attach the provenance tracker; a repair then clears the process's
+  /// taint (local consistency is restored, the corruption is contained).
+  /// The kLocalCorrection event itself still carries the taint.
+  void set_provenance(obs::ProvenanceTracker* prov) { prov_ = prov; }
+
  private:
   void correct(Predicate which);
 
@@ -87,6 +92,7 @@ class LocalWrapper {
   sim::PeriodicTimer timer_;
   std::uint64_t corrections_ = 0;
   obs::EventBus* bus_ = nullptr;
+  obs::ProvenanceTracker* prov_ = nullptr;
 };
 
 }  // namespace graybox::wrapper

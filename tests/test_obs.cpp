@@ -201,6 +201,38 @@ TEST(EventBus, RenderMatchesLegacyTraceText) {
   EXPECT_EQ(bus.render(viol), "violation monitor#9");
 }
 
+TEST(EventBus, RendersAllElevenFaultCodeNames) {
+  // Golden text for the full fault-code space: injector kinds 0-6 plus the
+  // lifecycle codes 7-10. Pinned in one place so a renamed code shows up as
+  // a test diff, not as a silently relabeled trace.
+  const char* const kGolden[net::kFaultCodeCount] = {
+      "message-drop",   "message-duplicate", "message-corrupt",
+      "message-reorder", "spurious-message", "process-corrupt",
+      "channel-clear",  "process-crash",     "process-recover",
+      "partition",      "partition-heal"};
+  sim::Scheduler sched;
+  // The harness path registers net's table; a hand-wired bus has none and
+  // must fall back to the builtin table. Both must agree with net's names.
+  EventBus registered(sched, 4);
+  registered.set_fault_kind_names(net::fault_kind_names());
+  EventBus bare(sched, 4);
+  for (std::uint8_t code = 0; code < net::kFaultCodeCount; ++code) {
+    Event f;
+    f.kind = EventKind::kFaultInjected;
+    f.a = code;
+    const std::string expected = std::string("fault ") + kGolden[code];
+    EXPECT_EQ(registered.render(f), expected) << unsigned{code};
+    EXPECT_EQ(bare.render(f), expected) << unsigned{code};
+    EXPECT_STREQ(net::fault_code_name(code), kGolden[code]);
+    EXPECT_STREQ(obs::fault_code_builtin_name(code), kGolden[code]);
+  }
+  // Past both tables: numeric fallback, never a null or a stale label.
+  Event f;
+  f.kind = EventKind::kFaultInjected;
+  f.a = 42;
+  EXPECT_EQ(bare.render(f), "fault fault#42");
+}
+
 // --- Histogram ---------------------------------------------------------------
 
 TEST(Histogram, Pow2BoundsShape) {
@@ -464,6 +496,53 @@ TEST(HarnessTimeline, BusDerivationAgreesWithLiveState) {
     EXPECT_EQ(from_bus.clauses[i].count, live.clauses[i].count) << i;
     EXPECT_EQ(from_bus.clauses[i].first, live.clauses[i].first) << i;
     EXPECT_EQ(from_bus.clauses[i].last, live.clauses[i].last) << i;
+  }
+}
+
+TEST(HarnessTimeline, BusAggregatesSurviveRingEviction) {
+  // A pathologically tiny ring under sustained fault load: nearly every
+  // event is evicted, but the bus's first/last aggregates are exact, so
+  // the bus-derived timeline still equals the live-harness derivation.
+  core::HarnessConfig config = obs_config(21);
+  config.trace_capacity = 8;
+  config.fault_process.drop_mean = 150;
+  config.fault_process.corrupt_mean = 150;
+  config.fault_process.process_corrupt_mean = 300;
+  config.fault_process.start = 400;
+  config.fault_process.end = 2900;
+  core::SystemHarness h(config);
+  h.start();
+  h.run_for(2900);
+  h.drain(2000);
+
+  ASSERT_EQ(h.events().size(), 8u);  // only the tail is retained...
+  EXPECT_GT(h.events().total_recorded(), 1000u);  // ...of a long run
+
+  const obs::StabilizationTimeline live = h.timeline();
+  const obs::StabilizationTimeline from_bus =
+      obs::timeline_from_bus(h.events());
+  EXPECT_EQ(from_bus.run_end, live.run_end);
+  EXPECT_EQ(from_bus.faults_injected, live.faults_injected);
+  EXPECT_EQ(from_bus.first_fault, live.first_fault);
+  EXPECT_EQ(from_bus.last_fault, live.last_fault);
+  EXPECT_EQ(from_bus.violations_total, live.violations_total);
+  EXPECT_EQ(from_bus.first_violation, live.first_violation);
+  EXPECT_EQ(from_bus.last_violation, live.last_violation);
+  EXPECT_EQ(from_bus.last_activity, live.last_activity);
+  EXPECT_EQ(from_bus.divergent_window(), live.divergent_window());
+  ASSERT_EQ(from_bus.clauses.size(), live.clauses.size());
+  for (std::size_t i = 0; i < live.clauses.size(); ++i) {
+    EXPECT_EQ(from_bus.clauses[i].name, live.clauses[i].name) << i;
+    EXPECT_EQ(from_bus.clauses[i].count, live.clauses[i].count) << i;
+    EXPECT_EQ(from_bus.clauses[i].first, live.clauses[i].first) << i;
+    EXPECT_EQ(from_bus.clauses[i].last, live.clauses[i].last) << i;
+  }
+  ASSERT_EQ(from_bus.faults.size(), live.faults.size());
+  for (std::size_t i = 0; i < live.faults.size(); ++i) {
+    EXPECT_EQ(from_bus.faults[i].name, live.faults[i].name) << i;
+    EXPECT_EQ(from_bus.faults[i].count, live.faults[i].count) << i;
+    EXPECT_EQ(from_bus.faults[i].first, live.faults[i].first) << i;
+    EXPECT_EQ(from_bus.faults[i].last, live.faults[i].last) << i;
   }
 }
 

@@ -298,6 +298,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
     metrics_.counter("provenance.messages_tainted");
     metrics_.counter("provenance.violations_attributed");
     metrics_.counter("provenance.containment_ticks");
+    metrics_.counter("provenance.taint_overflows");
 
     net_->add_send_observer(
         [this, &queue_depth, &in_flight](const net::Message& msg) {
@@ -630,6 +631,7 @@ RunStats SystemHarness::stats() const {
       stats.violations_attributed += b.violations_attributed;
       stats.containment_ticks += b.containment();
     }
+    stats.taint_overflows = provenance_->taint_overflows();
   }
 
   if (config_.collect_metrics) {
@@ -677,6 +679,7 @@ RunStats SystemHarness::stats() const {
         .set(stats.violations_attributed);
     metrics_.counter("provenance.containment_ticks")
         .set(stats.containment_ticks);
+    metrics_.counter("provenance.taint_overflows").set(stats.taint_overflows);
     stats.metrics = metrics_.snapshot();
   }
   return stats;

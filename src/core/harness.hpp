@@ -226,6 +226,7 @@ struct RunStats {
   std::uint64_t messages_tainted = 0;      ///< messages that carried taint
   std::uint64_t violations_attributed = 0; ///< violation->fault attributions
   std::uint64_t containment_ticks = 0;     ///< summed containment() windows
+  std::uint64_t taint_overflows = 0;       ///< ids dropped by taint saturation
   /// Metric samples collected when config.collect_metrics was set; empty
   /// otherwise. All values are sim-domain, hence deterministic.
   obs::MetricsSnapshot metrics;

@@ -1,0 +1,32 @@
+// Seeded protocol mutants for the explorer's mutation smoke.
+//
+// Each mutant re-introduces one real bug class the correct implementations
+// guard against; the smoke (tests/test_mc.cpp, tools/graybox_mc
+// --mutation-smoke) asserts mc::Explorer finds each and shrinks the
+// counterexample to a handful of steps. They register in the global
+// ProtocolRegistry only through register_mutants() — never at load time —
+// so registry-wide smokes over the built-ins (which assume correct
+// implementations) cannot meet them by accident.
+//
+//   mutant-ra-tiebreak    knows_earlier compares Lamport counters only,
+//                         dropping the pid tiebreak: concurrent requests
+//                         with equal counters both pass the entry guard.
+//                         Fault-free ME1 under the right delivery order.
+//   mutant-ra-eager-reply handle_request always replies immediately and
+//                         never records the pending request, so release
+//                         finds an empty deferred set and notifies nobody:
+//                         the competing process starves on a stale view.
+//   mutant-lamport-no-ack Lamport's entry guard loses the acknowledgement
+//                         conjunct (grant.j.k): a peer's earlier request
+//                         still in flight has no local queue entry, so
+//                         both processes judge themselves earliest and
+//                         both enter (ME1 from a pure delivery race).
+#pragma once
+
+namespace graybox::mc {
+
+/// Register the three mutants in me::ProtocolRegistry::instance().
+/// Idempotent; call from any binary that explores mutants by name.
+void register_mutants();
+
+}  // namespace graybox::mc

@@ -1,0 +1,62 @@
+// A replayable schedule for the graybox model checker (mc::Explorer).
+//
+// A ScheduleTrace pins everything the sampled harness leaves to chance:
+// the master seed, the resolution of every same-tick delivery tie (via the
+// sim::ChoiceHook installed by the explorer), and the exact fault
+// placements (net::TargetedFault at fixed executed-event positions).
+// Executing the same trace through Explorer::execute reconstructs the
+// SystemHarness from scratch and replays bit-identically — counterexamples
+// are files, not luck.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.hpp"
+
+namespace graybox::mc {
+
+/// One fault application pinned to an execution position: applied
+/// immediately before the `at_event`-th executed simulator event.
+struct FaultAt {
+  std::uint64_t at_event = 0;
+  net::TargetedFault fault{};
+};
+
+struct ScheduleTrace {
+  std::uint64_t seed = 1;
+
+  /// Consumed one per choice point (a tick with >= 2 ready events), in
+  /// order; points beyond the vector take index 0, the legacy insertion
+  /// order. Entries are clamped to the live count at replay time.
+  std::vector<std::uint32_t> choices;
+
+  /// Sorted by at_event (ties applied in listed order).
+  std::vector<FaultAt> faults;
+
+  /// Shrinker-visible size: placed faults plus non-default choices. The
+  /// mutation smoke's "<= 10 steps" acceptance bound counts exactly this.
+  std::size_t steps() const {
+    std::size_t s = faults.size();
+    for (std::uint32_t c : choices)
+      if (c != 0) ++s;
+    return s;
+  }
+
+  /// Drop trailing zero choices; they replay identically to absence.
+  void normalize() {
+    while (!choices.empty() && choices.back() == 0) choices.pop_back();
+  }
+
+  /// Line-oriented text form (round-trips through from_text):
+  ///   graybox-mc-trace v1
+  ///   seed <n>
+  ///   choices <c0> <c1> ...        (omitted when empty)
+  ///   fault <at_event> <code> <a> <b> <index> <index2> <mask>
+  std::string to_text() const;
+  static std::optional<ScheduleTrace> from_text(const std::string& text);
+};
+
+}  // namespace graybox::mc

@@ -23,7 +23,8 @@ void Channel::enqueue(Message&& msg) {
 }
 
 void Channel::schedule_tick(SimTime arrival) {
-  sched_.schedule_at(arrival, [this, epoch = epoch_] { on_tick(epoch); });
+  sched_.schedule_at_tagged(arrival, choice_tag_,
+                            [this, epoch = epoch_] { on_tick(epoch); });
 }
 
 void Channel::on_tick(std::uint64_t epoch) {

@@ -35,6 +35,25 @@
 
 namespace graybox::net {
 
+/// Choice-hook tag for delivery ticks (sim::ChoiceHook): bit 63 marks
+/// "delivery", the low 32 bits encode the directed channel as
+/// (from << 16 | to). Untagged events (tag 0 — timers, polls, client
+/// decisions) are treated as always-dependent by the explorer.
+inline constexpr std::uint64_t kDeliveryTagBit = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t make_delivery_tag(ProcessId from,
+                                                 ProcessId to) {
+  return kDeliveryTagBit | (std::uint64_t{from} << 16) | std::uint64_t{to};
+}
+inline constexpr bool is_delivery_tag(std::uint64_t tag) {
+  return (tag & kDeliveryTagBit) != 0;
+}
+inline constexpr ProcessId delivery_tag_from(std::uint64_t tag) {
+  return static_cast<ProcessId>((tag >> 16) & 0xffff);
+}
+inline constexpr ProcessId delivery_tag_to(std::uint64_t tag) {
+  return static_cast<ProcessId>(tag & 0xffff);
+}
+
 class Channel {
  public:
   /// `deliver` is invoked with each message as it leaves the channel.
@@ -114,6 +133,12 @@ class Channel {
     spurious_uid_counter_ = counter;
   }
 
+  /// Tag stamped on this channel's delivery ticks, surfaced to an installed
+  /// sim::ChoiceHook. Network sets make_delivery_tag(from, to); standalone
+  /// channels default to 0 (untagged).
+  void set_choice_tag(std::uint64_t tag) { choice_tag_ = tag; }
+  std::uint64_t choice_tag() const { return choice_tag_; }
+
  private:
   void schedule_tick(SimTime arrival);
   void on_tick(std::uint64_t epoch);
@@ -139,6 +164,7 @@ class Channel {
   std::uint64_t dropped_by_fault_ = 0;
   std::size_t* in_flight_counter_ = nullptr;
   std::uint64_t* spurious_uid_counter_ = nullptr;
+  std::uint64_t choice_tag_ = 0;
   /// Fallback spurious-uid source for channels outside a Network.
   std::uint64_t local_spurious_uid_ = kSpuriousUidBase;
 };

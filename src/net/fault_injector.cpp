@@ -324,6 +324,93 @@ bool FaultInjector::inject(FaultKind kind) {
   return true;
 }
 
+bool FaultInjector::inject_targeted(const TargetedFault& f) {
+  if (f.code >= kFaultKindCount) return false;
+  const auto kind = static_cast<FaultKind>(f.code);
+  ProcessId fault_pid = kNoProcess;
+  std::uint64_t dropped = 0;
+  obs::ProvenanceId id = obs::kNoProvenance;
+  switch (kind) {
+    case FaultKind::kMessageDrop: {
+      if (f.a >= net_.size() || f.b >= net_.size() || f.a == f.b)
+        return false;
+      Channel& ch = net_.channel(f.a, f.b);
+      if (f.index >= ch.in_flight()) return false;
+      ch.fault_drop(f.index);
+      id = mint(kind);
+      dropped = 1;
+      break;
+    }
+    case FaultKind::kMessageDuplicate: {
+      if (f.a >= net_.size() || f.b >= net_.size() || f.a == f.b)
+        return false;
+      Channel& ch = net_.channel(f.a, f.b);
+      if (f.index >= ch.in_flight()) return false;
+      ch.fault_duplicate(f.index);
+      id = mint(kind);
+      taint_in_flight(ch, f.index + 1, id);
+      break;
+    }
+    case FaultKind::kMessageCorrupt: {
+      if (f.a >= net_.size() || f.b >= net_.size() || f.a == f.b)
+        return false;
+      Channel& ch = net_.channel(f.a, f.b);
+      if (f.index >= ch.in_flight()) return false;
+      const Message& original = ch.contents()[f.index];
+      Message corrupted = random_message(original.from, original.to);
+      ch.fault_corrupt(f.index, corrupted);
+      id = mint(kind);
+      taint_in_flight(ch, f.index, id);
+      break;
+    }
+    case FaultKind::kMessageReorder: {
+      if (f.a >= net_.size() || f.b >= net_.size() || f.a == f.b)
+        return false;
+      Channel& ch = net_.channel(f.a, f.b);
+      if (f.index == f.index2 || f.index >= ch.in_flight() ||
+          f.index2 >= ch.in_flight())
+        return false;
+      ch.fault_swap(f.index, f.index2);
+      id = mint(kind);
+      taint_in_flight(ch, f.index, id);
+      taint_in_flight(ch, f.index2, id);
+      break;
+    }
+    case FaultKind::kSpuriousMessage: {
+      if (f.a >= net_.size() || f.b >= net_.size() || f.a == f.b)
+        return false;
+      Message fabricated = random_message(f.a, f.b);
+      id = mint(kind);
+      if (id != obs::kNoProvenance) {
+        fabricated.taint.add(id);
+        prov_->note_message_taint(fabricated.taint);
+      }
+      net_.channel(f.a, f.b).fault_inject(fabricated);
+      break;
+    }
+    case FaultKind::kProcessCorrupt: {
+      if (corrupt_process_ == nullptr || f.a >= net_.size()) return false;
+      corrupt_process_(f.a, rng_);
+      fault_pid = f.a;
+      id = mint(kind, f.a);
+      if (prov_ != nullptr) prov_->taint_process(f.a, id);
+      break;
+    }
+    case FaultKind::kChannelClear: {
+      if (f.a >= net_.size() || f.b >= net_.size() || f.a == f.b)
+        return false;
+      Channel& ch = net_.channel(f.a, f.b);
+      if (ch.empty()) return false;
+      dropped = ch.in_flight();
+      ch.fault_clear();
+      id = mint(kind);
+      break;
+    }
+  }
+  note(kind, fault_pid, dropped, id);
+  return true;
+}
+
 bool FaultInjector::inject_random(const FaultMix& mix) {
   std::vector<FaultKind> kinds = mix.enabled_kinds();
   // Try kinds in random order until one applies.

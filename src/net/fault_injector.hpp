@@ -74,6 +74,26 @@ struct FaultMix {
   std::vector<FaultKind> enabled_kinds() const;
 };
 
+/// One fully specified fault application — what the model checker (src/mc)
+/// enumerates and what a replayed ScheduleTrace re-applies. `code` spans
+/// the full fault-code space: FaultKind values are applied by
+/// FaultInjector::inject_targeted; the lifecycle codes (crash / recover /
+/// partition / heal) are dispatched by the harness, which owns processes.
+struct TargetedFault {
+  std::uint8_t code = 0;
+  /// Channel source for message faults; corrupted / crashed / recovered
+  /// pid for process faults.
+  ProcessId a = kNoProcess;
+  /// Channel destination for message faults.
+  ProcessId b = kNoProcess;
+  /// In-flight index (drop / duplicate / corrupt / first swap position).
+  std::uint32_t index = 0;
+  /// Second in-flight index (reorder swaps index <-> index2).
+  std::uint32_t index2 = 0;
+  /// Bipartition mask (kFaultCodePartition only).
+  std::uint64_t mask = 0;
+};
+
 class FaultInjector {
  public:
   /// Arbitrarily corrupts the state of one process; supplied by the harness
@@ -91,6 +111,15 @@ class FaultInjector {
   /// Apply one fault of a random enabled kind. Kinds whose targets are
   /// absent are skipped; returns false if nothing was applicable.
   bool inject_random(const FaultMix& mix);
+
+  /// Apply one fully specified fault (FaultKind codes only; lifecycle
+  /// codes are the harness's job). Returns false when the target no longer
+  /// exists — an index past the backlog, an empty channel — so replaying a
+  /// shrunk trace against drifted state degrades to a no-op instead of
+  /// tripping the channel contracts. Content randomness (corrupt payloads,
+  /// spurious messages, process corruption) still draws from the seeded
+  /// injector RNG, so a fixed call sequence is deterministic.
+  bool inject_targeted(const TargetedFault& f);
 
   /// Apply up to `count` random faults right now.
   void burst(std::size_t count, const FaultMix& mix);

@@ -53,6 +53,8 @@ Network::Network(sim::Scheduler& sched, std::size_t n, DelayModel delay,
       channels_[channel_index(from, to)] = std::make_unique<Channel>(
           sched, delay, rng.split(),
           [this](const Message& msg) { deliver(msg); });
+      channels_[channel_index(from, to)]->set_choice_tag(
+          make_delivery_tag(from, to));
     }
   }
   vclocks_.reserve(n);

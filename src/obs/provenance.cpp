@@ -20,6 +20,7 @@ void ProvenanceTracker::taint_process(ProcessId pid, ProvenanceId id) {
       id > blast_.size()) {
     return;
   }
+  const std::uint8_t dropped_before = process_taint_[pid].dropped;
   if (process_taint_[pid].add(id)) {
     BlastRadius& b = blast_[id - 1];
     // Count distinct processes ever tainted, not re-infections: a process
@@ -28,13 +29,17 @@ void ProvenanceTracker::taint_process(ProcessId pid, ProvenanceId id) {
     const std::uint64_t bit = std::uint64_t{1} << (pid < 64 ? pid : 63);
     if ((b.process_mask & bit) == 0) ++b.processes_tainted;
     b.process_mask |= bit;
+  } else if (process_taint_[pid].dropped != dropped_before) {
+    // Keep-oldest saturation just discarded this (newer) id: the run-wide
+    // counter makes the resulting under-attribution observable.
+    ++taint_overflows_;
   }
 }
 
 void ProvenanceTracker::merge_process(ProcessId pid, const TaintSet& taint) {
   if (pid >= process_taint_.size()) return;
   for (std::size_t i = 0; i < taint.size(); ++i) taint_process(pid, taint[i]);
-  process_taint_[pid].dropped |= taint.dropped;
+  process_taint_[pid].note_dropped(taint.dropped);
 }
 
 void ProvenanceTracker::clear_process(ProcessId pid) {

@@ -45,14 +45,22 @@ inline constexpr ProvenanceId kNoProvenance = 0;
 /// A small fixed-capacity set of provenance ids, piggybacked on every
 /// net::Message and obs::Event and kept per process. No heap, trivially
 /// copyable: stamping taint onto the per-event path is a ~20-byte copy.
-/// On overflow the set saturates *keeping the oldest ids* — root causes
-/// outrank the corruption they transitively caused — and records that it
-/// dropped some (overflowed()).
+///
+/// Overflow semantics (pinned by TaintOverflow tests): the set saturates
+/// *keeping the oldest ids* — root causes outrank the corruption they
+/// transitively caused — so ids added after the 4th distinct one are
+/// dropped, NOT the oldest. The cost is that a violation under more than
+/// kCapacity concurrent faults under-attributes the newest injections; the
+/// set counts every dropped id (`dropped`, saturating at 255) and the
+/// ProvenanceTracker rolls those drops up into taint_overflows() /
+/// the `provenance.taint_overflows` metric so under-attribution is
+/// detectable instead of silent.
 struct TaintSet {
   static constexpr std::size_t kCapacity = 4;
 
   ProvenanceId ids[kCapacity] = {};
   std::uint8_t count = 0;
+  /// Distinct ids this set refused for lack of room (saturates at 255).
   std::uint8_t dropped = 0;
 
   bool empty() const { return count == 0; }
@@ -71,7 +79,8 @@ struct TaintSet {
   bool add(ProvenanceId id) {
     if (id == kNoProvenance || contains(id)) return false;
     if (count == kCapacity) {
-      dropped = 1;  // saturate, keeping the oldest (root-cause) ids
+      // Saturate, keeping the oldest (root-cause) ids; count the drop.
+      if (dropped != 0xff) ++dropped;
       return false;
     }
     ids[count++] = id;
@@ -80,7 +89,13 @@ struct TaintSet {
 
   void merge(const TaintSet& other) {
     for (std::size_t i = 0; i < other.count; ++i) add(other.ids[i]);
-    dropped |= other.dropped;
+    note_dropped(other.dropped);
+  }
+
+  /// Fold `n` upstream drops into this set's saturating drop count.
+  void note_dropped(std::uint8_t n) {
+    dropped = static_cast<std::uint8_t>(
+        dropped + n >= 0xff ? 0xff : dropped + n);
   }
 
   void clear() {
@@ -161,9 +176,15 @@ class ProvenanceTracker {
   std::size_t minted() const { return blast_.size(); }
   const std::vector<BlastRadius>& blast() const { return blast_; }
 
+  /// Total ids dropped from per-process taint sets because more than
+  /// TaintSet::kCapacity faults were concurrently live on one process —
+  /// the amount of attribution the keep-oldest saturation cost this run.
+  std::uint64_t taint_overflows() const { return taint_overflows_; }
+
  private:
   std::vector<TaintSet> process_taint_;
   std::vector<BlastRadius> blast_;
+  std::uint64_t taint_overflows_ = 0;
 };
 
 }  // namespace graybox::obs

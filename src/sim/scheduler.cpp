@@ -28,11 +28,17 @@ void Scheduler::free_slot(std::uint32_t slot) {
 }
 
 EventId Scheduler::schedule_at(SimTime t, EventFn fn) {
+  return schedule_at_tagged(t, 0, std::move(fn));
+}
+
+EventId Scheduler::schedule_at_tagged(SimTime t, std::uint64_t tag,
+                                      EventFn fn) {
   GBX_EXPECTS(t >= now_);
   GBX_EXPECTS(fn != nullptr);
   const std::uint32_t slot = alloc_slot();
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
+  s.tag = tag;
   ++live_;
   // t >= now_ >= wheel_base_, so the subtraction cannot underflow.
   if (t - wheel_base_ < kWheelSize) {
@@ -193,16 +199,52 @@ bool Scheduler::step_bounded(SimTime limit) {
     Bucket& b = buckets_[idx];
     bool executed_one = false;
     while (b.head < b.entries.size()) {
-      const BucketEntry e = b.entries[b.head];
-      Slot& s = slots_[e.slot];
-      if (s.gen != e.gen) {  // stale: cancelled after entering the bucket
-        ++b.head;
-        --bucket_stale_;
-        continue;
+      {
+        const BucketEntry e0 = b.entries[b.head];
+        if (slots_[e0.slot].gen != e0.gen) {  // stale: cancelled in bucket
+          ++b.head;
+          --bucket_stale_;
+          continue;
+        }
       }
       const SimTime t = wheel_base_ + d;
       if (t > limit) return false;
-      ++b.head;
+      std::size_t pick = b.head;
+      if (choice_hook_ != nullptr) {
+        // Compact the unconsumed tail in place so the hook sees exactly
+        // the live same-tick events, in insertion order. A bucket maps a
+        // single tick inside the wheel horizon, so every live entry here
+        // is ready now.
+        std::size_t w = b.head;
+        for (std::size_t r = b.head; r < b.entries.size(); ++r) {
+          const BucketEntry& e = b.entries[r];
+          if (slots_[e.slot].gen != e.gen) {
+            --bucket_stale_;
+            continue;
+          }
+          b.entries[w++] = e;
+        }
+        b.entries.resize(w);
+        const std::size_t count = w - b.head;
+        if (count >= 2) {
+          choice_tags_.clear();
+          for (std::size_t i = b.head; i < w; ++i)
+            choice_tags_.push_back(slots_[b.entries[i].slot].tag);
+          const std::size_t k =
+              choice_hook_->choose(t, choice_tags_.data(), count);
+          GBX_ASSERT(k < count);
+          pick = b.head + k;
+        }
+      }
+      const BucketEntry e = b.entries[pick];
+      if (pick == b.head) {
+        ++b.head;
+      } else {
+        // Out-of-order pick: remove it, keeping the rest in insertion
+        // order (what the hook will be shown again next round).
+        b.entries.erase(b.entries.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      }
       if (b.head == b.entries.size()) {
         b.entries.clear();
         b.head = 0;
@@ -216,6 +258,7 @@ bool Scheduler::step_bounded(SimTime limit) {
         wheel_base_ = t;
         promote_spill();
       }
+      Slot& s = slots_[e.slot];
       EventFn fn = std::move(s.fn);
       --live_;
       --wheel_live_;

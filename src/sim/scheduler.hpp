@@ -49,6 +49,22 @@ using EventId = std::uint64_t;
 /// Handle for a registered observer; usable with Scheduler::remove_observer.
 using ObserverId = std::uint64_t;
 
+/// Same-tick choice hook for systematic exploration (src/mc). When two or
+/// more live events are ready at the current tick the scheduler asks the
+/// hook which one runs next instead of taking insertion order. With no hook
+/// installed (the default) execution stays bit-identical to the legacy
+/// insertion-order tiebreak.
+class ChoiceHook {
+ public:
+  virtual ~ChoiceHook() = default;
+  /// `tags[i]` is the i-th ready event's tag in insertion order (0 for
+  /// untagged events — timers, polls). Must return an index < count; the
+  /// indexed event executes now, the rest stay queued in their original
+  /// relative order.
+  virtual std::size_t choose(SimTime now, const std::uint64_t* tags,
+                             std::size_t count) = 0;
+};
+
 class Scheduler {
  public:
   /// Event callbacks: captures <= 48 bytes are stored inline in the event
@@ -70,6 +86,11 @@ class Scheduler {
   /// in scheduling order, which keeps runs deterministic.
   EventId schedule_at(SimTime t, EventFn fn);
 
+  /// schedule_at with a caller-chosen 64-bit tag, surfaced to an installed
+  /// ChoiceHook when this event ties with others at its tick. Tag 0 means
+  /// "untagged" (what plain schedule_at stamps).
+  EventId schedule_at_tagged(SimTime t, std::uint64_t tag, EventFn fn);
+
   /// Schedule `fn` `delay` ticks from now.
   EventId schedule_after(SimTime delay, EventFn fn);
 
@@ -80,11 +101,26 @@ class Scheduler {
   /// Execute the single earliest pending event. Returns false when idle.
   bool step() { return step_bounded(kNever); }
 
+  /// Execute the single earliest pending event if its time is <= limit.
+  /// Returns false when idle or when the next event lies beyond the limit
+  /// (now() is left untouched in that case). The model checker's drive
+  /// loop uses this to run one decision at a time under a horizon.
+  bool step_until(SimTime limit) { return step_bounded(limit); }
+
   /// Execute every event with time <= t, then set now to t.
   void run_until(SimTime t);
 
-  /// Execute events for `duration` ticks from the current time.
-  void run_for(SimTime duration) { run_until(now_ + duration); }
+  /// Execute events for `duration` ticks from the current time, saturating
+  /// at kNever: a duration that would wrap past the end of simulated time
+  /// runs to kNever instead of tripping run_until's t >= now precondition.
+  void run_for(SimTime duration) {
+    run_until(duration >= kNever - now_ ? kNever : now_ + duration);
+  }
+
+  /// Install (or with nullptr remove) the same-tick choice hook. The hook
+  /// must outlive the scheduler or be removed before it dies.
+  void set_choice_hook(ChoiceHook* hook) { choice_hook_ = hook; }
+  ChoiceHook* choice_hook() const { return choice_hook_; }
 
   /// Drain the queue completely. `max_events` bounds runaway event chains
   /// (a chain that exceeds it aborts via contract failure, since no
@@ -126,6 +162,8 @@ class Scheduler {
   /// here with the old generation.
   struct Slot {
     EventFn fn;
+    /// Choice-hook tag (0 = untagged); stamped by schedule_at_tagged.
+    std::uint64_t tag = 0;
     std::uint32_t gen = 1;
     bool in_spill = false;
   };
@@ -210,6 +248,10 @@ class Scheduler {
   std::size_t spill_stale_ = 0;
   std::uint64_t next_seq_ = 1;
   std::vector<ObserverSlot> observers_;
+  ChoiceHook* choice_hook_ = nullptr;
+  /// Scratch for the hook call; member so the hot path never allocates
+  /// once it has grown to the largest same-tick tie seen.
+  std::vector<std::uint64_t> choice_tags_;
   bool dispatching_observers_ = false;
   SimTime now_ = 0;
   ObserverId next_observer_id_ = 1;

@@ -281,6 +281,39 @@ TEST_F(ChannelTest, FaultDropAndDuplicateOnWrappedQueue) {
   EXPECT_EQ(delivered.size(), 6u);
 }
 
+TEST_F(ChannelTest, ComposedSameTickFaultsOnWrappedQueue) {
+  // The explorer composes several targeted faults at one grid position —
+  // all inside a single tick, with no deliveries between them. Each
+  // fault's indices address the queue AS LEFT BY THE PREVIOUS ONE (not
+  // the pre-tick snapshot): swap first relocates messages, then drop and
+  // duplicate see the post-swap order. Pinned here across the physical
+  // ring-wrap boundary, where a stale-snapshot or index-translation bug
+  // would silently target the wrong message.
+  auto ch = make_channel(DelayModel::fixed(100));
+  for (std::uint64_t i = 0; i < 6; ++i) ch->enqueue(make_msg(0, 1, i));
+  sched.run_all();  // head sits near the end of the initial 8-slot block
+  delivered.clear();
+  for (std::uint64_t i = 0; i < 7; ++i)
+    ch->enqueue(make_msg(0, 1, 600 + i));  // physically wraps
+  // Queue: 600 601 602 603 604 605 606
+  ch->fault_swap(1, 6);   // -> 600 606 602 603 604 605 601
+  ch->fault_drop(3);      // -> 600 606 602 604 605 601
+  ch->fault_duplicate(0); // -> 600 600 606 602 604 605 601
+  const std::uint64_t want[] = {600, 600, 606, 602, 604, 605, 601};
+  const auto view = ch->contents();
+  ASSERT_EQ(view.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i)
+    EXPECT_EQ(view[i].ts.counter, want[i]) << "in-flight index " << i;
+  // Tick accounting composes too: the drop's orphaned tick no-ops and the
+  // duplicate adds one, so exactly 7 messages deliver, in the faulted
+  // order.
+  sched.run_all();
+  ASSERT_EQ(delivered.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i)
+    EXPECT_EQ(delivered[i].ts.counter, want[i]) << "delivery " << i;
+  EXPECT_EQ(ch->dropped_by_fault(), 1u);
+}
+
 TEST_F(ChannelTest, FaultClearThenRefillOnWrappedQueue) {
   auto ch = make_channel(DelayModel::fixed(10));
   for (std::uint64_t i = 0; i < 7; ++i) ch->enqueue(make_msg(0, 1, i));

@@ -70,7 +70,59 @@ TEST(TaintSet, MergeUnionsAndClearResets) {
   EXPECT_FALSE(a.overflowed());
 }
 
+TEST(TaintSet, DropCounterCountsEachRefusedIdAndSaturates) {
+  TaintSet t;
+  for (ProvenanceId id = 1; id <= TaintSet::kCapacity; ++id) t.add(id);
+  t.add(100);
+  t.add(101);
+  t.add(101);  // not a drop: already-refused ids are still "not present"
+  EXPECT_EQ(t.dropped, 3u);
+  t.add(1);  // not a drop either: it IS present
+  EXPECT_EQ(t.dropped, 3u);
+  for (int i = 0; i < 300; ++i) t.add(200 + static_cast<ProvenanceId>(i));
+  EXPECT_EQ(t.dropped, 0xffu);  // saturates instead of wrapping
+  EXPECT_EQ(t.size(), TaintSet::kCapacity);
+  EXPECT_TRUE(t.contains(1));  // the oldest ids survived all of it
+}
+
+TEST(TaintSet, MergeAccumulatesUpstreamDrops) {
+  TaintSet a, b;
+  for (ProvenanceId id = 1; id <= TaintSet::kCapacity + 2; ++id) a.add(id);
+  for (ProvenanceId id = 10; id <= 10 + TaintSet::kCapacity; ++id) b.add(id);
+  EXPECT_EQ(a.dropped, 2u);
+  EXPECT_EQ(b.dropped, 1u);
+  // merge drops b's four ids (a is full) AND folds b's own drop count in:
+  // 2 (a's) + 4 (refused here) + 1 (b's upstream) — additive, not OR'd.
+  a.merge(b);
+  EXPECT_EQ(a.dropped, 7u);
+}
+
 // --- ProvenanceTracker -------------------------------------------------------
+
+TEST(ProvenanceTracker, TaintOverflowCounterMakesUnderAttributionVisible) {
+  ProvenanceTracker prov(2);
+  ProvenanceId ids[6];
+  for (int i = 0; i < 6; ++i)
+    ids[i] = prov.mint(/*code=*/0, kNoProcess, /*now=*/10 + i);
+  for (int i = 0; i < 6; ++i) prov.taint_process(0, ids[i]);
+  // Keep-oldest saturation: ids 1..4 stick, 5 and 6 are dropped and the
+  // run-wide counter records exactly those two under-attributions.
+  const TaintSet& t = prov.process_taint(0);
+  EXPECT_EQ(t.size(), TaintSet::kCapacity);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(t.contains(ids[i]));
+  EXPECT_FALSE(t.contains(ids[4]));
+  EXPECT_FALSE(t.contains(ids[5]));
+  EXPECT_EQ(prov.taint_overflows(), 2u);
+  // Re-offering a dropped id counts again (it is still being refused),
+  // while re-offering a held id does not.
+  prov.taint_process(0, ids[5]);
+  prov.taint_process(0, ids[0]);
+  EXPECT_EQ(prov.taint_overflows(), 3u);
+  // A different process has its own headroom: no spurious overflow.
+  prov.taint_process(1, ids[5]);
+  EXPECT_EQ(prov.taint_overflows(), 3u);
+}
+
 
 TEST(ProvenanceTracker, MintsSequentialIdsAndRecordsOrigin) {
   ProvenanceTracker prov(4);

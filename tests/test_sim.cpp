@@ -82,6 +82,29 @@ TEST(Scheduler, RunForIsRelative) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(Scheduler, RunForSaturatesInsteadOfWrappingPastNever) {
+  Scheduler sched;
+  int ran = 0;
+  sched.schedule_at(40, [&] { ++ran; });
+  sched.run_for(10);
+  EXPECT_EQ(sched.now(), 10u);
+  // now_ + kNever would wrap around to 9 and trip run_until's t >= now
+  // precondition; run_for must clamp to the end of simulated time instead
+  // and still execute everything pending.
+  sched.run_for(kNever);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sched.now(), kNever);
+}
+
+TEST(Scheduler, RunForExactlyToNeverBoundary) {
+  Scheduler sched;
+  sched.run_for(100);
+  // duration == kNever - now_ is the largest non-wrapping duration; both
+  // it and anything larger land exactly on kNever.
+  sched.run_for(kNever - sched.now());
+  EXPECT_EQ(sched.now(), kNever);
+}
+
 TEST(Scheduler, CancelPreventsExecution) {
   Scheduler sched;
   int ran = 0;

@@ -1,0 +1,387 @@
+// graybox_mc: systematic schedule & fault-placement exploration over the
+// simulated TME stack (mc::Explorer).
+//
+// Modes:
+//   (default)          explore one configuration; print the verdict, the
+//                      shrunk counterexample (if any) and explorer stats.
+//   --sweep            bounded-exhaustive matrix: {ra, lamport, cr} x
+//                      wrapper tiers x fault modes, CI-sized budgets.
+//                      Fault-free cells assert no safety violation at all;
+//                      fault cells run level-2-wrapped tiers and assert
+//                      convergence (no violation past last-fault + settle,
+//                      no starvation after drain) — the unwrapped tiers
+//                      make no stabilization claim under faults (that gap
+//                      is the paper's point), so the sweep does not test
+//                      them there.
+//   --mutation-smoke   run the explorer against the three seeded protocol
+//                      mutants (mc/mutants.hpp); each must be found and
+//                      shrink to a short trace. Exit 1 on any miss.
+//   --replay=FILE      execute a saved trace twice; print outcome and
+//                      digest; exit 1 unless the two digests agree and —
+//                      when the trace came from --out — the bug still
+//                      reproduces.
+//
+// Every mode prints one "mc-stats ..." line per explorer run; CI greps
+// these into the job summary.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/harness.hpp"
+#include "mc/explorer.hpp"
+#include "mc/mutants.hpp"
+#include "mc/trace.hpp"
+
+namespace {
+
+using namespace graybox;
+using mc::BugProperty;
+using mc::Explorer;
+using mc::ExplorerConfig;
+using mc::ExplorerResult;
+using mc::ScheduleTrace;
+
+void print_stats(const std::string& label, const mc::ExplorerStats& s) {
+  std::cout << "mc-stats cell=" << label << " executions=" << s.executions
+            << " choice_points=" << s.choice_points
+            << " alternatives=" << s.alternatives
+            << " pruned_sleep=" << s.pruned_sleep
+            << " pruned_delay=" << s.pruned_delay
+            << " faults_placed=" << s.faults_placed
+            << " shrink_executions=" << s.shrink_executions << "\n";
+}
+
+void print_result(const std::string& label, Explorer& ex,
+                  const ExplorerResult& r) {
+  if (r.found) {
+    std::cout << label << ": BUG kind=" << r.outcome.kind
+              << " steps=" << r.counterexample.steps()
+              << " (original steps=" << r.original.steps() << ")"
+              << " digest=" << std::hex << r.outcome.digest << std::dec
+              << "\n";
+    std::cout << ex.explain(r.counterexample);
+  } else {
+    std::cout << label << ": clean\n";
+  }
+  print_stats(label, r.stats);
+}
+
+core::HarnessConfig harness_from_flags(const Flags& flags) {
+  core::HarnessConfig cfg;
+  cfg.n = static_cast<std::size_t>(flags.get_int("n", 3));
+  cfg.algorithm = flags.get("algorithm", "ricart-agrawala");
+  cfg.wrapped = flags.get_bool("wrapped", true);
+  cfg.level1 = flags.get_bool("level1", false);
+  cfg.wrapper.resend_period =
+      static_cast<SimTime>(flags.get_int("resend", 25));
+  cfg.client.think_mean = flags.get_double("think", 30.0);
+  cfg.client.eat_mean = flags.get_double("eat", 8.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return cfg;
+}
+
+ExplorerConfig explorer_from_flags(const Flags& flags) {
+  ExplorerConfig ec;
+  ec.harness = harness_from_flags(flags);
+  ec.property = flags.get("property", "safety") == "convergence"
+                    ? BugProperty::kConvergence
+                    : BugProperty::kAnySafetyViolation;
+  ec.horizon = static_cast<SimTime>(flags.get_int("horizon", 1500));
+  ec.budget = static_cast<std::uint64_t>(flags.get_int("budget", 500));
+  ec.delay_budget =
+      static_cast<std::uint32_t>(flags.get_int("delay-budget", 2));
+  ec.fault_budget =
+      static_cast<std::uint32_t>(flags.get_int("fault-budget", 0));
+  ec.explore_lifecycle = flags.get_bool("lifecycle", false);
+  ec.fault_window =
+      static_cast<std::uint64_t>(flags.get_int("fault-window", 600));
+  ec.fault_stride =
+      static_cast<std::uint64_t>(flags.get_int("fault-stride", 60));
+  const std::string mode = flags.get("fault-kind", "channel");
+  if (mode == "all")
+    ec.mix = net::FaultMix::all();
+  else if (mode == "drop")
+    ec.mix = net::FaultMix::only(net::FaultKind::kMessageDrop);
+  else if (mode == "duplicate")
+    ec.mix = net::FaultMix::only(net::FaultKind::kMessageDuplicate);
+  else if (mode == "process")
+    ec.mix = net::FaultMix::process_only();
+  else
+    ec.mix = net::FaultMix::channel_only();
+  return ec;
+}
+
+int run_explore(const Flags& flags) {
+  ExplorerConfig ec = explorer_from_flags(flags);
+  Explorer ex(ec);
+  const ExplorerResult r = ex.run();
+  print_result("explore", ex, r);
+  const std::string out = flags.get("out", "");
+  if (r.found && !out.empty()) {
+    std::ofstream f(out);
+    f << r.counterexample.to_text();
+    std::cout << "trace written to " << out << "\n";
+  }
+  return r.found ? 2 : 0;
+}
+
+int run_replay(const Flags& flags) {
+  const std::string path = flags.get("replay", "");
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "replay: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const auto trace = ScheduleTrace::from_text(buf.str());
+  if (!trace) {
+    std::cerr << "replay: " << path << " is not a graybox-mc trace\n";
+    return 1;
+  }
+  ExplorerConfig ec = explorer_from_flags(flags);
+  Explorer ex(ec);
+  const mc::Outcome first = ex.execute(*trace);
+  const mc::Outcome second = ex.execute(*trace);
+  std::cout << "replay: bug=" << (first.bug ? first.kind : "none")
+            << " digest=" << std::hex << first.digest << std::dec << " "
+            << first.detail << "\n";
+  if (first.digest != second.digest) {
+    std::cerr << "replay: NONDETERMINISTIC (digest mismatch on rerun)\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// One sweep cell: a harness configuration plus the property and fault
+/// surface the explorer probes it with.
+struct SweepCell {
+  std::string label;
+  ExplorerConfig config;
+};
+
+std::vector<SweepCell> build_sweep(const Flags& flags) {
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(flags.get_int("budget", 120));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::vector<SweepCell> cells;
+  const std::vector<std::string> algos = {"ricart-agrawala", "lamport",
+                                          "carvalho-roucairol"};
+  for (const std::string& algo : algos) {
+    auto base = [&](bool wrapped, bool level1) {
+      ExplorerConfig ec;
+      ec.harness.n = 3;
+      ec.harness.algorithm = algo;
+      ec.harness.wrapped = wrapped;
+      ec.harness.level1 = level1;
+      ec.harness.client.think_mean = 30.0;
+      ec.harness.client.eat_mean = 8.0;
+      ec.harness.seed = seed;
+      ec.budget = budget;
+      return ec;
+    };
+    auto add = [&](const char* tier, ExplorerConfig ec) {
+      cells.push_back(SweepCell{algo + "/" + tier, std::move(ec)});
+    };
+    {  // Fault-free safety, all four tiers.
+      add("bare/safety", base(false, false));
+      add("level1/safety", base(false, true));
+      add("wrapped/safety", base(true, false));
+      add("both/safety", base(true, true));
+    }
+    {  // Channel faults, level-2-wrapped tiers, convergence.
+      ExplorerConfig ec = base(true, false);
+      ec.property = BugProperty::kConvergence;
+      ec.fault_budget = 2;
+      add("wrapped/channel", std::move(ec));
+      ExplorerConfig ec2 = base(true, true);
+      ec2.property = BugProperty::kConvergence;
+      ec2.fault_budget = 2;
+      add("both/channel", std::move(ec2));
+    }
+    {  // Crash/recover and partition/heal lifecycles, wrapped.
+      ExplorerConfig ec = base(true, false);
+      ec.property = BugProperty::kConvergence;
+      ec.fault_budget = 1;
+      ec.explore_lifecycle = true;
+      add("wrapped/lifecycle", std::move(ec));
+    }
+  }
+  return cells;
+}
+
+int run_sweep(const Flags& flags) {
+  std::vector<SweepCell> cells = build_sweep(flags);
+  std::size_t jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min(jobs, cells.size());
+
+  struct CellOut {
+    ExplorerResult result;
+    std::string rendered;  // explain() text for found bugs
+  };
+  std::vector<CellOut> out(cells.size());
+  // Static round-robin sharding: cell i runs on worker i % jobs and lands
+  // in out[i], so the printed report is byte-identical for every --jobs.
+  auto worker = [&](std::size_t w) {
+    for (std::size_t i = w; i < cells.size(); i += jobs) {
+      Explorer ex(cells[i].config);
+      out[i].result = ex.run();
+      if (out[i].result.found)
+        out[i].rendered = ex.explain(out[i].result.counterexample);
+    }
+  };
+  if (jobs == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::size_t bugs = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ExplorerResult& r = out[i].result;
+    if (r.found) {
+      ++bugs;
+      std::cout << cells[i].label << ": BUG kind=" << r.outcome.kind
+                << " steps=" << r.counterexample.steps() << "\n";
+      std::cout << out[i].rendered;
+    } else {
+      std::cout << cells[i].label << ": clean\n";
+    }
+    print_stats(cells[i].label, r.stats);
+  }
+  std::cout << "sweep: " << cells.size() << " cells, " << bugs
+            << " with bugs\n";
+  return bugs == 0 ? 0 : 2;
+}
+
+/// Per-mutant explorer setup: each mutant is paired with the narrowest
+/// configuration whose clean counterpart provably admits no violation, so
+/// any bug the explorer finds is the seeded defect.
+int run_mutation_smoke(const Flags& flags) {
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(flags.get_int("budget", 400));
+  struct MutantCase {
+    const char* name;
+    ExplorerConfig config;
+  };
+  std::vector<MutantCase> cases;
+  {
+    // Equal-counter concurrent requests; fault-free; pid tiebreak is the
+    // only thing between them and mutual entry.
+    ExplorerConfig ec;
+    ec.harness.n = 2;
+    ec.harness.algorithm = "mutant-ra-tiebreak";
+    ec.harness.wrapped = false;
+    // Short think times put first requests in each other's delivery
+    // windows, where equal Lamport counters are common and only the pid
+    // tiebreak separates the processes.
+    ec.harness.client.think_mean = 3.0;
+    ec.budget = budget;
+    ec.delay_budget = 3;
+    cases.push_back({"mutant-ra-tiebreak", std::move(ec)});
+  }
+  {
+    // Release notifies nobody; a waiter's stale view starves it. Detected
+    // unwrapped — the wrapper's resends would eventually repair the view,
+    // which is exactly the graybox story, not the mutant's absence.
+    ExplorerConfig ec;
+    ec.harness.n = 2;
+    ec.harness.algorithm = "mutant-ra-eager-reply";
+    ec.harness.wrapped = false;
+    ec.harness.client.think_mean = 20.0;
+    ec.budget = budget;
+    ec.delay_budget = 3;
+    cases.push_back({"mutant-ra-eager-reply", std::move(ec)});
+  }
+  {
+    // Concurrent requests whose carriers are still in flight: without the
+    // acknowledgement wait, both sides enter on local queue evidence.
+    // Fault-free, so any violation is the mutant's.
+    ExplorerConfig ec;
+    ec.harness.n = 2;
+    ec.harness.algorithm = "mutant-lamport-no-ack";
+    ec.harness.wrapped = false;
+    ec.harness.client.think_mean = 10.0;
+    ec.budget = budget;
+    ec.delay_budget = 3;
+    cases.push_back({"mutant-lamport-no-ack", std::move(ec)});
+  }
+
+  int missed = 0;
+  for (MutantCase& c : cases) {
+    bool found = false;
+    // A fixed handful of root seeds; the smoke is deterministic because
+    // the seed list and every per-seed exploration are.
+    for (std::uint64_t seed = 1; seed <= 4 && !found; ++seed) {
+      ExplorerConfig ec = c.config;
+      ec.harness.seed = seed;
+      Explorer ex(ec);
+      const ExplorerResult r = ex.run();
+      if (r.found) {
+        found = true;
+        std::cout << "mutant " << c.name << ": caught (seed=" << seed
+                  << " kind=" << r.outcome.kind
+                  << " steps=" << r.counterexample.steps()
+                  << " original=" << r.original.steps() << ")\n";
+        std::cout << ex.explain(r.counterexample);
+        print_stats(c.name, r.stats);
+        if (r.counterexample.steps() > 10) {
+          std::cout << "mutant " << c.name
+                    << ": FAIL shrunk trace exceeds 10 steps\n";
+          ++missed;
+        }
+      }
+    }
+    if (!found) {
+      std::cout << "mutant " << c.name << ": MISSED\n";
+      ++missed;
+    }
+  }
+  std::cout << "mutation-smoke: " << (cases.size() - missed) << "/"
+            << cases.size() << " caught\n";
+  return missed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(
+      argc, argv,
+      {{"n", "number of processes (default 3)"},
+       {"algorithm", "registered algorithm name or alias (default ra)"},
+       {"wrapped", "attach level-2 graybox wrappers (default true)"},
+       {"level1", "attach level-1 local wrappers (default false)"},
+       {"resend", "wrapper resend period (default 25)"},
+       {"think", "client mean think time (default 30)"},
+       {"eat", "client mean eat time (default 8)"},
+       {"seed", "root seed for the DFS (default 1)"},
+       {"budget", "max DFS executions (default 500; 120 per sweep cell)"},
+       {"delay-budget", "max non-default choices per schedule (default 2)"},
+       {"fault-budget", "max placed faults per trace (default 0)"},
+       {"fault-window", "fault positions lie in [0, window) events"},
+       {"fault-stride", "fault-position grid spacing in events (default 60)"},
+       {"fault-kind",
+        "channel | all | drop | duplicate | process (default channel)"},
+       {"lifecycle", "also enumerate crash/recover and partition/heal"},
+       {"horizon", "per-execution sim-time bound (default 1500)"},
+       {"property", "safety | convergence (default safety)"},
+       {"out", "write the shrunk counterexample trace to this file"},
+       {"replay", "execute a saved trace file instead of exploring"},
+       {"sweep", "run the algorithm x tier x fault matrix"},
+       {"mutation-smoke", "assert the seeded mutants are caught"},
+       {"jobs", "sweep worker threads (default 1; 0 = all cores)"}});
+  graybox::mc::register_mutants();  // the mutants' home binary
+  if (flags.has("mutation-smoke")) return run_mutation_smoke(flags);
+  if (flags.has("replay")) return run_replay(flags);
+  if (flags.has("sweep")) return run_sweep(flags);
+  return run_explore(flags);
+}

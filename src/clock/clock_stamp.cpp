@@ -1,0 +1,119 @@
+#include "clock/clock_stamp.hpp"
+
+namespace graybox::clk {
+
+ClockStamp ClockStamp::dense(const VectorClock& clock) {
+  ClockStamp s;
+  s.mode_ = Mode::kDense;
+  s.dense_ = clock;
+  s.n_ = static_cast<std::uint32_t>(clock.size());
+  s.origin_ = clock.owner();
+  return s;
+}
+
+ClockStamp ClockStamp::delta(ProcessId origin, std::size_t n) {
+  ClockStamp s;
+  s.mode_ = Mode::kDelta;
+  s.origin_ = origin;
+  s.n_ = static_cast<std::uint32_t>(n);
+  return s;
+}
+
+void ClockStamp::copy_from(const ClockStamp& other) {
+  mode_ = other.mode_;
+  count_ = other.count_;
+  origin_ = other.origin_;
+  n_ = other.n_;
+  for (std::uint16_t i = 0; i < count_; ++i) inline_[i] = other.inline_[i];
+  spill_ = other.spill_ ? std::make_unique<std::vector<Entry>>(*other.spill_)
+                        : nullptr;
+  dense_ = other.dense_;
+}
+
+std::size_t ClockStamp::size() const {
+  switch (mode_) {
+    case Mode::kEmpty:
+      return 0;
+    case Mode::kDense:
+      return dense_.size();
+    case Mode::kDelta:
+      return n_;
+  }
+  return 0;
+}
+
+bool ClockStamp::add_entry(std::uint32_t comp, std::uint64_t value) {
+  GBX_EXPECTS(is_delta());
+  GBX_EXPECTS(comp < n_);
+  if (spill_) {
+    spill_->push_back({comp, value});
+    return true;
+  }
+  if (count_ == kInlineEntries) return false;
+  inline_[count_++] = {comp, value};
+  return true;
+}
+
+bool ClockStamp::contains(std::uint32_t comp) const {
+  for (const Entry& e : entries())
+    if (e.comp == comp) return true;
+  return false;
+}
+
+void ClockStamp::push_unchecked(Entry e) {
+  if (!spill_ && count_ < kInlineEntries) {
+    inline_[count_++] = e;
+    return;
+  }
+  if (!spill_) {
+    spill_ = std::make_unique<std::vector<Entry>>(inline_, inline_ + count_);
+    count_ = 0;
+  }
+  spill_->push_back(e);
+}
+
+void ClockStamp::absorb_older(const ClockStamp& older) {
+  if (is_dense() || older.empty()) return;
+  GBX_EXPECTS(is_delta());
+  if (older.is_dense()) {
+    // The older full clock overlaid with this stamp's newer entries is
+    // exactly this message's at-send clock: every component not in the
+    // delta was unchanged since the older stamp was taken.
+    VectorClock full = older.dense_clock();
+    for (const Entry& e : entries()) full.set_component(e.comp, e.value);
+    ClockStamp densified = ClockStamp::dense(full);
+    densified.origin_ = origin_;
+    *this = std::move(densified);
+    return;
+  }
+  for (const Entry& e : older.entries())
+    if (!contains(e.comp)) push_unchecked(e);
+}
+
+VectorClock ClockStamp::to_clock() const {
+  if (is_dense()) return dense_;
+  VectorClock clock(origin_, n_);
+  if (is_delta())
+    for (const Entry& e : entries()) clock.set_component(e.comp, e.value);
+  return clock;
+}
+
+std::string ClockStamp::to_string() const {
+  switch (mode_) {
+    case Mode::kEmpty:
+      return "stamp{}";
+    case Mode::kDense:
+      return "stamp{dense " + dense_.to_string() + "}";
+    case Mode::kDelta: {
+      std::string out = "stamp{delta p" + std::to_string(origin_) + "/" +
+                        std::to_string(n_) + ":";
+      for (const Entry& e : entries())
+        out += " " + std::to_string(e.comp) + "=" + std::to_string(e.value);
+      out += "}";
+      return out;
+    }
+  }
+  return "stamp{?}";
+}
+
+}  // namespace graybox::clk

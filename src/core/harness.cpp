@@ -115,6 +115,7 @@ SystemHarness::SystemHarness(HarnessConfig config)
 
   net_ = std::make_unique<net::Network>(sched_, config_.n, config_.delay,
                                         net_rng);
+  net_->set_dense_stamps(config_.reference_dense_clocks);
   net_->set_event_bus(bus_.get());
   net_->set_provenance(provenance_.get());
 
@@ -210,6 +211,14 @@ SystemHarness::SystemHarness(HarnessConfig config)
     }
     tme_handles_ = lspec::install_tme_monitors(
         monitor_set_, config_.n, std::move(claims), std::move(fcfs_claims));
+    if (config_.reference_full_sweep_monitors) {
+      tme_handles_.me1->set_incremental(false);
+      tme_handles_.me2->set_incremental(false);
+      tme_handles_.me3->set_incremental(false);
+      tme_handles_.invariant_i->set_incremental(false);
+      if (tme_handles_.mutual_belief != nullptr)
+        tme_handles_.mutual_belief->set_incremental(false);
+    }
     if (config_.install_lspec_monitors) {
       lspec_handles_ =
           lspec::install_lspec_clause_monitors(monitor_set_, config_.n);

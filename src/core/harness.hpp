@@ -135,6 +135,22 @@ struct HarnessConfig {
   /// reason. Only golden-equivalence tests should set this.
   bool reference_full_capture = false;
 
+  /// Stamp every message with a full dense vector clock (the pre-sparse
+  /// wire encoding) instead of per-channel deltas. Bit-identical receiver
+  /// clocks by contract (tests/test_clock_stamp.cpp pins the equivalence
+  /// under the full fault matrix), so excluded from config_digest like
+  /// reference_full_capture. Golden tests and the E14 before/after
+  /// measurement set this.
+  bool reference_dense_clocks = false;
+
+  /// Route every snapshot to the monitors' full step() instead of the
+  /// incremental step_delta() fast paths, and use the monitors' legacy
+  /// O(N)-scan helpers. Verdict-identical by contract (the incremental
+  /// paths fall back to a full check whenever they detect a possible
+  /// transition), so excluded from config_digest. Golden tests and the
+  /// E14 before/after measurement set this.
+  bool reference_full_sweep_monitors = false;
+
   /// Retain this many typed events in the observability bus (sends,
   /// deliveries, state transitions, faults, wrapper corrections, monitor
   /// violations). 0 disables event recording; the bus object always exists

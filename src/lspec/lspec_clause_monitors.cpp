@@ -225,11 +225,10 @@ class EntryTakenMonitor : public TmeMonitor {
 
  private:
   static bool entry_enabled(const GlobalSnapshot& s, std::size_t j) {
-    if (!s.procs[j].hungry()) return false;
-    for (std::size_t k = 0; k < s.procs.size(); ++k) {
-      if (k != j && !s.knows_earlier(j, k)) return false;
-    }
-    return true;
+    // knows_all_earlier is O(1) on SnapshotSource buffers (cached per-row
+    // knows-true counts), turning this clause's per-dirty-row cost from
+    // O(N) into O(1).
+    return s.procs[j].hungry() && s.knows_all_earlier(j);
   }
   void scan_row(SimTime t, const GlobalSnapshot& s, std::size_t j) {
     if (entry_enabled(s, j)) {

@@ -8,8 +8,36 @@ namespace graybox::lspec {
 
 void GlobalSnapshot::resize(std::size_t n) {
   procs.assign(n, ProcessSnapshot{});
-  knows_.assign(n * n, 0);
-  vc_.assign(n * n, 0);
+  row_slot_.assign(n, -1);
+  knows_pool_.clear();
+  vc_pool_.clear();
+  zero_vc_row_.assign(n, 0);
+  counts_valid_ = false;
+  eating_count_ = 0;
+  hungry_count_ = 0;
+  knows_true_.clear();
+}
+
+std::int32_t GlobalSnapshot::materialize_row(std::size_t j) {
+  GBX_EXPECTS(j < procs.size());
+  std::int32_t slot = row_slot_[j];
+  if (slot >= 0) return slot;
+  const std::size_t n = procs.size();
+  slot = static_cast<std::int32_t>(knows_pool_.size() / n);
+  knows_pool_.resize(knows_pool_.size() + n, 0);
+  vc_pool_.resize(vc_pool_.size() + n, 0);
+  row_slot_[j] = slot;
+  return slot;
+}
+
+void GlobalSnapshot::set_knows_earlier(std::size_t j, std::size_t k,
+                                       bool value) {
+  char& cell = knows_row_mut(j)[k];
+  const char next = value ? 1 : 0;
+  if (counts_valid_ && next != cell)
+    knows_true_[j] = static_cast<std::uint16_t>(knows_true_[j] + next -
+                                                cell);
+  cell = next;
 }
 
 void GlobalSnapshot::set_vc(std::size_t j, const clk::VectorClock& vc) {
@@ -20,6 +48,7 @@ void GlobalSnapshot::set_vc(std::size_t j, const clk::VectorClock& vc) {
 }
 
 std::size_t GlobalSnapshot::eating_count() const {
+  if (counts_valid_) return eating_count_;
   std::size_t count = 0;
   for (const auto& p : procs)
     if (p.eating()) ++count;
@@ -27,10 +56,36 @@ std::size_t GlobalSnapshot::eating_count() const {
 }
 
 std::size_t GlobalSnapshot::hungry_count() const {
+  if (counts_valid_) return hungry_count_;
   std::size_t count = 0;
   for (const auto& p : procs)
     if (p.hungry()) ++count;
   return count;
+}
+
+bool GlobalSnapshot::knows_all_earlier(std::size_t j) const {
+  if (counts_valid_)
+    return static_cast<std::size_t>(knows_true_[j]) + 1 == procs.size();
+  for (std::size_t k = 0; k < procs.size(); ++k) {
+    if (k != j && !knows_earlier(j, k)) return false;
+  }
+  return true;
+}
+
+void GlobalSnapshot::enable_counts() {
+  const std::size_t n = procs.size();
+  eating_count_ = 0;
+  hungry_count_ = 0;
+  knows_true_.assign(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (procs[j].eating()) ++eating_count_;
+    if (procs[j].hungry()) ++hungry_count_;
+    std::uint16_t row = 0;
+    for (std::size_t k = 0; k < n; ++k)
+      if (knows_earlier(j, k)) ++row;
+    knows_true_[j] = row;
+  }
+  counts_valid_ = true;
 }
 
 SnapshotSource::SnapshotSource(std::vector<me::TmeProcess*> processes,
@@ -42,6 +97,7 @@ SnapshotSource::SnapshotSource(std::vector<me::TmeProcess*> processes,
   const std::size_t n = processes_.size();
   for (std::size_t b = 0; b < 2; ++b) {
     buffers_[b].resize(n);
+    buffers_[b].enable_counts();
     row_versions_[b].assign(n, 0);
   }
 }
@@ -49,16 +105,29 @@ SnapshotSource::SnapshotSource(std::vector<me::TmeProcess*> processes,
 void SnapshotSource::write_row(GlobalSnapshot& snap, std::size_t j) const {
   const me::TmeProcess& p = *processes_[j];
   ProcessSnapshot& ps = snap.procs[j];
-  ps.state = p.state();
+  const me::TmeState next_state = p.state();
+  if (snap.counts_valid_ && next_state != ps.state) {
+    snap.eating_count_ += static_cast<std::size_t>(next_state ==
+                                                   me::TmeState::kEating) -
+                          static_cast<std::size_t>(ps.eating());
+    snap.hungry_count_ += static_cast<std::size_t>(next_state ==
+                                                   me::TmeState::kHungry) -
+                          static_cast<std::size_t>(ps.hungry());
+  }
+  ps.state = next_state;
   ps.req = p.req();
   ps.clock_now = p.clock().now();
   snap.set_vc(j, net_.vclock(static_cast<ProcessId>(j)));
   char* knows = snap.knows_row_mut(j);
   const std::size_t n = processes_.size();
+  std::uint16_t row_true = 0;
   for (std::size_t k = 0; k < n; ++k) {
-    knows[k] =
+    const char v =
         (k != j && p.knows_earlier(static_cast<ProcessId>(k))) ? 1 : 0;
+    knows[k] = v;
+    row_true = static_cast<std::uint16_t>(row_true + v);
   }
+  if (snap.counts_valid_) snap.knows_true_[j] = row_true;
 }
 
 const GlobalSnapshot& SnapshotSource::capture(SimTime t) {

@@ -8,14 +8,21 @@
 // wrapper could not also see — so a specification clause checkable on
 // snapshots is by construction checkable without implementation knowledge.
 //
-// Storage is flattened for the per-event hot path: the per-process scalar
-// observables live in one contiguous ProcessSnapshot array, and the two
-// per-pair relations (knows_earlier, vector clocks) live in one N×N matrix
-// each. resize() is the only allocating operation; capturing into a sized
-// snapshot allocates nothing. SnapshotSource keeps a double buffer of these
-// and, using the observation version counters maintained by TmeProcess and
-// Network, re-reads only the rows that actually changed since the previous
-// event — O(N) per event instead of O(N²) allocations.
+// Storage: the per-process scalar observables live in one contiguous
+// ProcessSnapshot array; the two per-pair relations (knows_earlier, vector
+// clocks) are row-sparse — a row is backed by pool storage only once
+// something writes it, and unmaterialized rows read as all-false/all-zero,
+// exactly their dense zero-initialized contents. resize() is O(N); a row
+// materializes at most once (first write), so steady-state captures into a
+// sized snapshot allocate nothing. SnapshotSource keeps a double buffer of
+// these and, using the observation version counters maintained by
+// TmeProcess and Network, re-reads only the rows that actually changed
+// since the previous event — O(dirty rows) per event instead of O(N²).
+//
+// Aggregate counts (eating/hungry totals, per-row knows-true counts) are
+// cached so the monitors' hot-path guards are O(1). The cache is only
+// enabled for SnapshotSource-maintained buffers: hand-built snapshots
+// (tests mutate procs[j].state directly) keep the O(N) scan fallback.
 #pragma once
 
 #include <cstdint>
@@ -50,38 +57,71 @@ class GlobalSnapshot {
   std::vector<ProcessSnapshot> procs;
   std::size_t in_flight = 0;
 
-  /// Size the flat storage for n processes; zeroes both matrices.
+  /// Size the storage for n processes; all observables read as zero.
   void resize(std::size_t n);
   std::size_t size() const { return procs.size(); }
 
   /// knows_earlier[j][k] = "REQj lt j.REQk" as process j reads it; the own
   /// index (k == j) is always false.
   bool knows_earlier(std::size_t j, std::size_t k) const {
-    return knows_[j * procs.size() + k] != 0;
+    const std::int32_t slot = row_slot_[j];
+    return slot >= 0 &&
+           knows_pool_[static_cast<std::size_t>(slot) * procs.size() + k] != 0;
   }
-  void set_knows_earlier(std::size_t j, std::size_t k, bool value) {
-    knows_[j * procs.size() + k] = value ? 1 : 0;
-  }
+  void set_knows_earlier(std::size_t j, std::size_t k, bool value);
 
   /// Monitor-side causal clock of process j (components, after its latest
-  /// event).
+  /// event). Unmaterialized rows read as all-zero.
   std::span<const std::uint64_t> vc_row(std::size_t j) const {
-    return {vc_.data() + j * procs.size(), procs.size()};
+    const std::int32_t slot = row_slot_[j];
+    if (slot < 0) return {zero_vc_row_.data(), procs.size()};
+    return {vc_pool_.data() + static_cast<std::size_t>(slot) * procs.size(),
+            procs.size()};
   }
   void set_vc(std::size_t j, const clk::VectorClock& vc);
 
+  /// O(1) when the count cache is enabled (SnapshotSource buffers), O(N)
+  /// scan otherwise (hand-built snapshots).
   std::size_t eating_count() const;
   std::size_t hungry_count() const;
 
+  /// CS Entry Spec's guard aggregate: does j know its request precedes
+  /// every peer's? O(1) when the count cache is enabled, O(N) otherwise.
+  bool knows_all_earlier(std::size_t j) const;
+
  private:
   friend class SnapshotSource;
-  char* knows_row_mut(std::size_t j) { return knows_.data() + j * procs.size(); }
+
+  /// Recompute and enable the aggregate-count cache. From then on
+  /// SnapshotSource::write_row and set_knows_earlier maintain it
+  /// incrementally; resize() disables it again.
+  void enable_counts();
+
+  std::int32_t materialize_row(std::size_t j);
+  // materialize_row may grow the pools, so it must be sequenced before
+  // data() is read.
+  char* knows_row_mut(std::size_t j) {
+    const auto slot = static_cast<std::size_t>(materialize_row(j));
+    return knows_pool_.data() + slot * procs.size();
+  }
   std::uint64_t* vc_row_mut(std::size_t j) {
-    return vc_.data() + j * procs.size();
+    const auto slot = static_cast<std::size_t>(materialize_row(j));
+    return vc_pool_.data() + slot * procs.size();
   }
 
-  std::vector<char> knows_;          // n*n, row-major by observing process
-  std::vector<std::uint64_t> vc_;    // n*n, row-major by process
+  /// Row-sparse N×N relations: row j lives at pool offset row_slot_[j] * n
+  /// once materialized, -1 before.
+  std::vector<std::int32_t> row_slot_;
+  std::vector<char> knows_pool_;
+  std::vector<std::uint64_t> vc_pool_;
+  /// Shared all-zero row backing vc_row() of unmaterialized rows.
+  std::vector<std::uint64_t> zero_vc_row_;
+
+  bool counts_valid_ = false;
+  std::size_t eating_count_ = 0;
+  std::size_t hungry_count_ = 0;
+  /// Per row j: number of true knows_earlier(j, k) entries.
+  std::vector<std::uint16_t> knows_true_;
 };
 
 /// Captures GlobalSnapshots from live processes and the network.

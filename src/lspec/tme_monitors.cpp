@@ -30,6 +30,20 @@ void Me1Monitor::step(SimTime t, const GlobalSnapshot&,
   check(t, cur);
 }
 
+void Me1Monitor::step_delta(SimTime t, const GlobalSnapshot& prev,
+                            const GlobalSnapshot& cur, std::size_t dirty) {
+  if (!incremental_) {
+    step(t, prev, cur);
+    return;
+  }
+  // While in violation every event must re-report (the stabilization
+  // detector needs the exact end time); while clean, an untouched snapshot
+  // cannot start one. check() itself is O(1) on the clean path thanks to
+  // the cached eating count.
+  if (!in_violation_ && dirty == spec::kDirtyNone) return;
+  check(t, cur);
+}
+
 void Me1Monitor::check(SimTime t, const GlobalSnapshot& s) {
   const bool bad = s.eating_count() > 1;
   if (bad) {
@@ -49,36 +63,58 @@ void Me2Monitor::begin(SimTime t, const GlobalSnapshot& s0) { scan(t, s0); }
 
 void Me2Monitor::step(SimTime t, const GlobalSnapshot& prev,
                       const GlobalSnapshot& cur) {
-  for (std::size_t j = 0; j < cur.procs.size(); ++j) {
-    // Collapsed request+entry (t -> e whose own vector-clock component
-    // advanced — a genuine request ticks it, a fault jump does not; see
-    // the file comment): the request was served within one event, wait 0.
-    if (prev.procs[j].state == me::TmeState::kThinking &&
-        cur.procs[j].eating() && cur.vc_row(j)[j] > prev.vc_row(j)[j]) {
-      ++served_;
-      ++collapsed_entries_;
-    }
+  for (std::size_t j = 0; j < cur.procs.size(); ++j) step_row(t, prev, cur, j);
+}
+
+void Me2Monitor::step_row(SimTime t, const GlobalSnapshot& prev,
+                          const GlobalSnapshot& cur, std::size_t j) {
+  // Collapsed request+entry (t -> e whose own vector-clock component
+  // advanced — a genuine request ticks it, a fault jump does not; see
+  // the file comment): the request was served within one event, wait 0.
+  if (prev.procs[j].state == me::TmeState::kThinking &&
+      cur.procs[j].eating() && cur.vc_row(j)[j] > prev.vc_row(j)[j]) {
+    ++served_;
+    ++collapsed_entries_;
   }
-  scan(t, cur);
+  scan_row(t, cur, j);
+}
+
+void Me2Monitor::step_delta(SimTime t, const GlobalSnapshot& prev,
+                            const GlobalSnapshot& cur, std::size_t dirty) {
+  if (!incremental_) {
+    step(t, prev, cur);
+    return;
+  }
+  // All bookkeeping is per-row-local: an untouched row has no transition
+  // to count and its hungry episode neither opens nor closes (hungry_since_
+  // was set when the row last changed).
+  if (dirty == spec::kDirtyNone) return;
+  if (dirty == spec::kDirtyAll) {
+    step(t, prev, cur);
+    return;
+  }
+  step_row(t, prev, cur, dirty);
 }
 
 void Me2Monitor::scan(SimTime t, const GlobalSnapshot& s) {
-  for (std::size_t j = 0; j < s.procs.size(); ++j) {
-    const bool hungry = s.procs[j].hungry();
-    if (hungry) {
-      if (hungry_since_[j] == kNever) hungry_since_[j] = t;
-      continue;
+  for (std::size_t j = 0; j < s.procs.size(); ++j) scan_row(t, s, j);
+}
+
+void Me2Monitor::scan_row(SimTime t, const GlobalSnapshot& s, std::size_t j) {
+  const bool hungry = s.procs[j].hungry();
+  if (hungry) {
+    if (hungry_since_[j] == kNever) hungry_since_[j] = t;
+    return;
+  }
+  if (hungry_since_[j] != kNever) {
+    // Leaving hungry by a program transition means entering the CS
+    // (h -> e); a fault jump elsewhere simply cancels the episode.
+    if (s.procs[j].eating()) {
+      ++served_;
+      const SimTime wait = t - hungry_since_[j];
+      if (wait > max_wait_) max_wait_ = wait;
     }
-    if (hungry_since_[j] != kNever) {
-      // Leaving hungry by a program transition means entering the CS
-      // (h -> e); a fault jump elsewhere simply cancels the episode.
-      if (s.procs[j].eating()) {
-        ++served_;
-        const SimTime wait = t - hungry_since_[j];
-        if (wait > max_wait_) max_wait_ = wait;
-      }
-      hungry_since_[j] = kNever;
-    }
+    hungry_since_[j] = kNever;
   }
 }
 
@@ -111,24 +147,44 @@ void Me3Monitor::begin(SimTime t, const GlobalSnapshot& s0) {
 
 void Me3Monitor::step(SimTime t, const GlobalSnapshot& prev,
                       const GlobalSnapshot& cur) {
-  for (std::size_t j = 0; j < cur.procs.size(); ++j) {
-    const me::TmeState before = prev.procs[j].state;
-    const me::TmeState after = cur.procs[j].state;
-    if (before == after) continue;
-    if (after == me::TmeState::kHungry) on_request(j, t, cur);
-    if (after == me::TmeState::kEating) {
-      // Collapsed request+entry (t -> e in one event): a genuine program
-      // step ticks the process's own vector-clock component when it
-      // requests (net::Network::local_event); a fault jump into the CS
-      // does not. Register the implicit request so the FCFS check runs
-      // against the entry's true causal position instead of treating it
-      // as a spurious jump.
-      if (!open_[j].open && cur.vc_row(j)[j] > prev.vc_row(j)[j])
-        on_request(j, t, cur);
-      on_entry(j, t, cur);
-    }
-    if (after == me::TmeState::kThinking) open_[j].open = false;
+  for (std::size_t j = 0; j < cur.procs.size(); ++j) step_row(t, prev, cur, j);
+}
+
+void Me3Monitor::step_row(SimTime t, const GlobalSnapshot& prev,
+                          const GlobalSnapshot& cur, std::size_t j) {
+  const me::TmeState before = prev.procs[j].state;
+  const me::TmeState after = cur.procs[j].state;
+  if (before == after) return;
+  if (after == me::TmeState::kHungry) on_request(j, t, cur);
+  if (after == me::TmeState::kEating) {
+    // Collapsed request+entry (t -> e in one event): a genuine program
+    // step ticks the process's own vector-clock component when it
+    // requests (net::Network::local_event); a fault jump into the CS
+    // does not. Register the implicit request so the FCFS check runs
+    // against the entry's true causal position instead of treating it
+    // as a spurious jump.
+    if (!open_[j].open && cur.vc_row(j)[j] > prev.vc_row(j)[j])
+      on_request(j, t, cur);
+    on_entry(j, t, cur);
   }
+  if (after == me::TmeState::kThinking) open_[j].open = false;
+}
+
+void Me3Monitor::step_delta(SimTime t, const GlobalSnapshot& prev,
+                            const GlobalSnapshot& cur, std::size_t dirty) {
+  if (!incremental_) {
+    step(t, prev, cur);
+    return;
+  }
+  // The monitor only acts on state *transitions*, which an untouched row
+  // cannot have; on_request/on_entry read only row j plus the open-request
+  // table, both unaffected by skipped clean rows.
+  if (dirty == spec::kDirtyNone) return;
+  if (dirty == spec::kDirtyAll) {
+    step(t, prev, cur);
+    return;
+  }
+  step_row(t, prev, cur, dirty);
 }
 
 namespace {
@@ -200,12 +256,96 @@ InvariantIMonitor::InvariantIMonitor(std::vector<char> claims)
     : TmeMonitor("InvariantI"), claims_(std::move(claims)) {}
 
 void InvariantIMonitor::begin(SimTime t, const GlobalSnapshot& s0) {
+  rebuild_counts(s0);
   check(t, s0);
 }
 
 void InvariantIMonitor::step(SimTime t, const GlobalSnapshot&,
                              const GlobalSnapshot& cur) {
   check(t, cur);
+}
+
+void InvariantIMonitor::step_delta(SimTime t, const GlobalSnapshot& prev,
+                                   const GlobalSnapshot& cur,
+                                   std::size_t dirty) {
+  if (!incremental_) {
+    step(t, prev, cur);
+    return;
+  }
+  // While in violation every event must re-report (exact violation end
+  // time); the maintained per-believer bad counts make both the fold and
+  // the report O(N), so violating windows no longer pay the O(N²) sweep.
+  if (dirty == spec::kDirtyAll) {
+    rebuild_counts(cur);
+    check(t, cur);
+    return;
+  }
+  if (dirty != spec::kDirtyNone) fold_dirty_row(prev, cur, dirty);
+  if (dirty == spec::kDirtyNone && !in_violation_) return;
+  report_current(t, cur);
+}
+
+void InvariantIMonitor::rebuild_counts(const GlobalSnapshot& s) {
+  const std::size_t n = s.procs.size();
+  bad_k_count_.assign(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!claims(j)) continue;
+    std::uint32_t c = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == j || !s.knows_earlier(j, k)) continue;
+      if (!clk::lt(s.procs[j].req, s.procs[k].req)) ++c;
+    }
+    bad_k_count_[j] = c;
+  }
+}
+
+void InvariantIMonitor::fold_dirty_row(const GlobalSnapshot& prev,
+                                       const GlobalSnapshot& cur,
+                                       std::size_t m) {
+  const std::size_t n = cur.procs.size();
+  if (bad_k_count_.size() != n) {
+    rebuild_counts(cur);
+    return;
+  }
+  // m as believer: REQm and knows row m both changed — recompute its count.
+  if (claims(m)) {
+    std::uint32_t c = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == m || !cur.knows_earlier(m, k)) continue;
+      if (!clk::lt(cur.procs[m].req, cur.procs[k].req)) ++c;
+    }
+    bad_k_count_[m] = c;
+  }
+  // m as believed-about: for every other believer j, only the (j, m) term
+  // can have changed — knows_earlier(j, m) and REQj are in clean row j.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == m || !claims(j)) continue;
+    if (!cur.knows_earlier(j, m)) continue;
+    const bool was_bad = !clk::lt(cur.procs[j].req, prev.procs[m].req);
+    const bool is_bad = !clk::lt(cur.procs[j].req, cur.procs[m].req);
+    if (was_bad != is_bad) bad_k_count_[j] += is_bad ? 1u : -1u;
+  }
+}
+
+void InvariantIMonitor::report_current(SimTime t, const GlobalSnapshot& s) {
+  bool bad = false;
+  for (std::size_t j = 0; j < s.procs.size() && !bad; ++j) {
+    if (!s.procs[j].hungry()) continue;
+    if (j < claims_.size() && claims_[j] == 0) continue;
+    if (bad_k_count_[j] == 0) continue;
+    for (std::size_t k = 0; k < s.procs.size(); ++k) {
+      if (k == j || !s.knows_earlier(j, k)) continue;
+      if (!clk::lt(s.procs[j].req, s.procs[k].req)) {
+        bad = true;
+        report(t, "process " + std::to_string(j) + " believes " +
+                      s.procs[j].req.to_string() + " lt REQ(" +
+                      std::to_string(k) + ")=" + s.procs[k].req.to_string() +
+                      ", which is false");
+        break;
+      }
+    }
+  }
+  in_violation_ = bad;
 }
 
 void InvariantIMonitor::check(SimTime t, const GlobalSnapshot& s) {
@@ -247,6 +387,33 @@ void MutualBeliefMonitor::begin(SimTime t, const GlobalSnapshot& s0) {
 void MutualBeliefMonitor::step(SimTime t, const GlobalSnapshot&,
                                const GlobalSnapshot& cur) {
   check(t, cur);
+}
+
+void MutualBeliefMonitor::step_delta(SimTime t, const GlobalSnapshot& prev,
+                                     const GlobalSnapshot& cur,
+                                     std::size_t dirty) {
+  if (!incremental_) {
+    step(t, prev, cur);
+    return;
+  }
+  if (in_violation_ || dirty == spec::kDirtyAll) {
+    check(t, cur);
+    return;
+  }
+  if (dirty == spec::kDirtyNone) return;
+  if (row_may_violate(cur, dirty)) check(t, cur);
+}
+
+bool MutualBeliefMonitor::row_may_violate(const GlobalSnapshot& s,
+                                          std::size_t m) const {
+  // From a clean state, a new mutually-believing pair must involve the one
+  // changed row.
+  if (!s.procs[m].hungry()) return false;
+  for (std::size_t k = 0; k < s.procs.size(); ++k) {
+    if (k == m || !s.procs[k].hungry()) continue;
+    if (s.knows_earlier(m, k) && s.knows_earlier(k, m)) return true;
+  }
+  return false;
 }
 
 void MutualBeliefMonitor::check(SimTime t, const GlobalSnapshot& s) {

@@ -56,6 +56,12 @@ class Me1Monitor : public TmeMonitor {
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override;
+
+  /// Reference mode: false routes every event through the full step()
+  /// (the pre-incremental behaviour); verdict-identical by contract.
+  void set_incremental(bool v) { incremental_ = v; }
 
   /// Number of distinct overlap episodes (entries into violation).
   std::uint64_t episodes() const { return episodes_; }
@@ -63,6 +69,7 @@ class Me1Monitor : public TmeMonitor {
  private:
   void check(SimTime t, const GlobalSnapshot& s);
   bool in_violation_ = false;
+  bool incremental_ = true;
   std::uint64_t episodes_ = 0;
 };
 
@@ -73,7 +80,11 @@ class Me2Monitor : public TmeMonitor {
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override;
   void finish(SimTime t, const GlobalSnapshot& last) override;
+
+  void set_incremental(bool v) { incremental_ = v; }
 
   std::uint64_t served() const { return served_; }
   /// Collapsed t -> e entries counted as service (wait 0); see the file
@@ -87,6 +98,10 @@ class Me2Monitor : public TmeMonitor {
 
  private:
   void scan(SimTime t, const GlobalSnapshot& s);
+  void step_row(SimTime t, const GlobalSnapshot& prev,
+                const GlobalSnapshot& cur, std::size_t j);
+  void scan_row(SimTime t, const GlobalSnapshot& s, std::size_t j);
+  bool incremental_ = true;
   std::vector<SimTime> hungry_since_;
   std::uint64_t served_ = 0;
   std::uint64_t collapsed_entries_ = 0;
@@ -109,6 +124,10 @@ class Me3Monitor : public TmeMonitor {
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override;
+
+  void set_incremental(bool v) { incremental_ = v; }
 
   std::uint64_t entries_checked() const { return entries_checked_; }
 
@@ -122,12 +141,15 @@ class Me3Monitor : public TmeMonitor {
   };
   void on_request(std::size_t j, SimTime t, const GlobalSnapshot& cur);
   void on_entry(std::size_t j, SimTime t, const GlobalSnapshot& cur);
+  void step_row(SimTime t, const GlobalSnapshot& prev,
+                const GlobalSnapshot& cur, std::size_t j);
   bool claims_fcfs(std::size_t j) const {
     return claims_.empty() || claims_[j] != 0;
   }
 
   std::vector<OpenRequest> open_;
   std::vector<char> claims_;
+  bool incremental_ = true;
   std::uint64_t entries_checked_ = 0;
 };
 
@@ -144,11 +166,36 @@ class InvariantIMonitor : public TmeMonitor {
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override;
+
+  void set_incremental(bool v) { incremental_ = v; }
 
  private:
   void check(SimTime t, const GlobalSnapshot& s);
+  /// Recompute bad_k_count_ from scratch (O(N²)); begin and kDirtyAll only.
+  void rebuild_counts(const GlobalSnapshot& s);
+  /// Fold one dirty row into bad_k_count_: row m's believer count is
+  /// recomputed (its req and knows row both changed, O(N)) and every other
+  /// believer j adjusts only its (j, m) term — knows_earlier(j, m) and
+  /// REQj live in row j, which is clean, so the term's old value is
+  /// computable from `prev` in O(1). O(N) total per dirty row.
+  void fold_dirty_row(const GlobalSnapshot& prev, const GlobalSnapshot& cur,
+                      std::size_t m);
+  /// Report exactly what check() would — the first hungry claiming believer
+  /// with a bad k, and its first bad k — but gated by the maintained
+  /// counts, so a violating event costs O(N) instead of O(N²).
+  void report_current(SimTime t, const GlobalSnapshot& s);
+  bool claims(std::size_t j) const {
+    return j >= claims_.size() || claims_[j] != 0;
+  }
   std::vector<char> claims_;
+  /// Per believer j (claiming only): #{k != j : knows_earlier(j, k) and
+  /// not REQj lt REQk}. Maintained for every j regardless of h.j — the
+  /// hungry gate is applied at report time, matching check()'s scan.
+  std::vector<std::uint32_t> bad_k_count_;
   bool in_violation_ = false;
+  bool incremental_ = true;
 };
 
 /// Mutual Belief: (forall j != k :: h.j /\ h.k =>
@@ -164,13 +211,19 @@ class MutualBeliefMonitor : public TmeMonitor {
   void begin(SimTime t, const GlobalSnapshot& s0) override;
   void step(SimTime t, const GlobalSnapshot& prev,
             const GlobalSnapshot& cur) override;
+  void step_delta(SimTime t, const GlobalSnapshot& prev,
+                  const GlobalSnapshot& cur, std::size_t dirty) override;
+
+  void set_incremental(bool v) { incremental_ = v; }
 
   /// Distinct entries into violation (mirrors Me1Monitor::episodes).
   std::uint64_t episodes() const { return episodes_; }
 
  private:
   void check(SimTime t, const GlobalSnapshot& s);
+  bool row_may_violate(const GlobalSnapshot& s, std::size_t m) const;
   bool in_violation_ = false;
+  bool incremental_ = true;
   std::uint64_t episodes_ = 0;
 };
 

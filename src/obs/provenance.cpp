@@ -1,5 +1,7 @@
 #include "obs/provenance.hpp"
 
+#include <algorithm>
+
 namespace graybox::obs {
 
 ProvenanceTracker::ProvenanceTracker(std::size_t n) : process_taint_(n) {}
@@ -34,17 +36,33 @@ void ProvenanceTracker::taint_process(ProcessId pid, ProvenanceId id) {
     // counter makes the resulting under-attribution observable.
     ++taint_overflows_;
   }
+  sync_live(pid);
 }
 
 void ProvenanceTracker::merge_process(ProcessId pid, const TaintSet& taint) {
   if (pid >= process_taint_.size()) return;
   for (std::size_t i = 0; i < taint.size(); ++i) taint_process(pid, taint[i]);
   process_taint_[pid].note_dropped(taint.dropped);
+  sync_live(pid);
 }
 
 void ProvenanceTracker::clear_process(ProcessId pid) {
   if (pid >= process_taint_.size()) return;
   process_taint_[pid].clear();
+  sync_live(pid);
+}
+
+void ProvenanceTracker::sync_live(ProcessId pid) {
+  const TaintSet& t = process_taint_[pid];
+  const bool live = t.count != 0 || t.dropped != 0;
+  const auto it =
+      std::lower_bound(live_tainted_.begin(), live_tainted_.end(), pid);
+  const bool present = it != live_tainted_.end() && *it == pid;
+  if (live && !present) {
+    live_tainted_.insert(it, pid);
+  } else if (!live && present) {
+    live_tainted_.erase(it);
+  }
 }
 
 void ProvenanceTracker::note_message_taint(const TaintSet& taint) {
@@ -58,7 +76,9 @@ void ProvenanceTracker::note_message_taint(const TaintSet& taint) {
 
 TaintSet ProvenanceTracker::attribute_violation(SimTime now) {
   TaintSet out;
-  for (const TaintSet& t : process_taint_) out.merge(t);
+  // Clear sets merge as no-ops, so the live list (ascending pids) yields
+  // exactly the same union, in the same order, as scanning all N sets.
+  for (const ProcessId pid : live_tainted_) out.merge(process_taint_[pid]);
   if (out.empty() && !blast_.empty()) {
     out.add(static_cast<ProvenanceId>(blast_.size()));
   }

@@ -181,8 +181,21 @@ class ProvenanceTracker {
   /// the amount of attribution the keep-oldest saturation cost this run.
   std::uint64_t taint_overflows() const { return taint_overflows_; }
 
+  /// Pids whose taint set is currently non-clear, ascending. Attribution
+  /// unions exactly these, so its cost is O(live tainted pids) rather than
+  /// O(N) — at N=256 almost every process is taint-free almost always.
+  const std::vector<ProcessId>& live_tainted() const { return live_tainted_; }
+
  private:
+  /// Re-derive pid's membership in live_tainted_ after a mutation.
+  void sync_live(ProcessId pid);
+
   std::vector<TaintSet> process_taint_;
+  /// Sorted pids with a non-clear taint set (count or dropped nonzero).
+  /// Iterating this in order visits the same non-trivial sets, in the same
+  /// order, as the full 0..N-1 scan — so the attribution union (whose
+  /// keep-oldest saturation makes merge order observable) is bit-identical.
+  std::vector<ProcessId> live_tainted_;
   std::vector<BlastRadius> blast_;
   std::uint64_t taint_overflows_ = 0;
 };
